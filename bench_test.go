@@ -1,0 +1,201 @@
+// Benchmarks: one per experiment of EXPERIMENTS.md.  Each bench regenerates
+// the corresponding paper artifact (or a bounded version of it) so that
+// `go test -bench=. -benchmem` exercises every reproduction end to end.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/manyone"
+	"repro/internal/mesh"
+	"repro/internal/reshape"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wrap"
+)
+
+// BenchmarkFigure1 (EXP-F1): Theorem 2 closed form plus Monte-Carlo for
+// k = 1..10.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := stats.Figure1(10, 100_000, 1)
+		if rows[2].Asymptotic < 0.26 || rows[2].Asymptotic > 0.28 {
+			b.Fatalf("f3 = %v", rows[2].Asymptotic)
+		}
+	}
+}
+
+// BenchmarkFigure2 (EXP-F2): the cumulative method coverage S1..S4.  The
+// full n=9 sweep takes ~2s; the bench runs n=6 per iteration and one n=9
+// validation on the first iteration.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := stats.Figure2(6)
+		if rows[5].S[3] < 90 {
+			b.Fatalf("S4(n=6) = %v", rows[5].S[3])
+		}
+	}
+}
+
+// BenchmarkFigure2FullDomain (EXP-F2/EXP-T1): the full 512³ sweep with the
+// published 28.5 / 81.5 / 82.9 / 96.1 sequence.
+func BenchmarkFigure2FullDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := stats.Figure2(9)
+		last := rows[8]
+		want := [4]float64{28.5, 81.5, 82.9, 96.1}
+		for j, w := range want {
+			if last.S[j] < w-0.05 || last.S[j] >= w+0.05 {
+				b.Fatalf("S%d = %v, want ≈%v", j+1, last.S[j], w)
+			}
+		}
+	}
+}
+
+// BenchmarkExceptions (EXP-E1): the exceptional-mesh enumeration ≤ 256
+// nodes (5x5x5, 5x7x7, 3x9x9, 5x5x10, 3x5x17).
+func BenchmarkExceptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ex := stats.Exceptions(256); len(ex) != 5 {
+			b.Fatalf("exceptions = %v", ex)
+		}
+	}
+}
+
+// BenchmarkTwoDim64 (EXP-E2): constructive embeddings of every 2-D mesh
+// with ≤ 64 nodes; all reach dilation ≤ 2 (the paper's 3x21 exception is
+// resolved by the axis-folding plan).
+func BenchmarkTwoDim64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		over := 0
+		for x := 1; x <= 64; x++ {
+			for y := x; x*y <= 64; y++ {
+				e := core.PlanShape(mesh.Shape{x, y}, core.DefaultOptions).Build()
+				if e.Dilation() > 2 {
+					over++
+				}
+			}
+		}
+		if over != 0 {
+			b.Fatalf("dilation > 2 for %d shapes, want 0", over)
+		}
+	}
+}
+
+// BenchmarkPlanner (EXP-E3): plan+build+measure across the paper's worked
+// examples.
+func BenchmarkPlanner(b *testing.B) {
+	shapes := []mesh.Shape{
+		{12, 20}, {3, 25, 3}, {3, 3, 23}, {5, 6, 7}, {21, 9, 5},
+		{5, 10, 11}, {12, 16, 20, 32},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := shapes[i%len(shapes)]
+		e := core.PlanShape(s, core.Options{}).Build()
+		if !e.Minimal() {
+			b.Fatalf("%v not minimal", s)
+		}
+	}
+}
+
+// BenchmarkWraparound (EXP-W1): torus embeddings per Corollary 3.
+func BenchmarkWraparound(b *testing.B) {
+	shapes := []mesh.Shape{{6, 10}, {12, 11}, {5, 7}, {16, 16}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := shapes[i%len(shapes)]
+		e := wrap.Embed(s, core.Options{})
+		if !e.Minimal() {
+			b.Fatalf("%v not minimal", s)
+		}
+	}
+}
+
+// BenchmarkManyOne (EXP-M1): the 19x19-into-5-cube example of §7.
+func BenchmarkManyOne(b *testing.B) {
+	s := mesh.Shape{19, 19}
+	for i := 0; i < b.N; i++ {
+		e, _, ok := manyone.Corollary5(s, 5)
+		if !ok || e.LoadFactor() != 15 {
+			b.Fatal("19x19 example broken")
+		}
+	}
+}
+
+// BenchmarkAvgDilation (EXP-A1): the §4.1 average-dilation formula for
+// products with growing inner factors.
+func BenchmarkAvgDilation(b *testing.B) {
+	outer := core.PlanShape(mesh.Shape{3, 5}, core.DefaultOptions).Build()
+	inners := []mesh.Shape{{2, 2}, {4, 4}, {8, 8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := embed.Gray(inners[i%len(inners)])
+		p := core.Product(in, outer)
+		if p.AvgDilation() >= outer.AvgDilation() {
+			b.Fatal("product should dilute the average dilation")
+		}
+	}
+}
+
+// BenchmarkReshapeAblation (EXP-A1 companion): reshaping baselines vs the
+// decomposition technique.
+func BenchmarkReshapeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := reshape.Compare(mesh.Shape{7, 9})
+		last := rows[len(rows)-1]
+		if last.Technique != "decomposition" || last.Dilation > 2 {
+			b.Fatalf("ablation rows: %+v", rows)
+		}
+	}
+}
+
+// BenchmarkSimnet (EXP-S1): one stencil-exchange sweep on the simulated
+// cube under the decomposition embedding.
+func BenchmarkSimnet(b *testing.B) {
+	e := repro.Embed(repro.Shape{12, 20}).Embedding
+	nw := simnet.New(e.N)
+	msgs := simnet.StencilExchange(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := nw.Run(msgs)
+		if st.MaxHops > 2 {
+			b.Fatalf("stats %+v", st)
+		}
+	}
+}
+
+// BenchmarkEmbedLargeMesh: throughput of the full pipeline on a large 3-D
+// mesh (plan, build, verify).
+func BenchmarkEmbedLargeMesh(b *testing.B) {
+	s := repro.Shape{30, 36, 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := repro.EmbedWith(s, core.Options{})
+		if r.Metrics.Dilation > 2 {
+			b.Fatalf("%s", r.Metrics)
+		}
+	}
+}
+
+// BenchmarkGrayBaseline: the dilation-one baseline for reference.
+func BenchmarkGrayBaseline(b *testing.B) {
+	s := repro.Shape{30, 36, 42}
+	for i := 0; i < b.N; i++ {
+		_ = repro.EmbedGray(s)
+	}
+}
+
+// BenchmarkHigherDimConjecture (EXP-X1): the §8 conjecture sweep for
+// four-dimensional meshes.
+func BenchmarkHigherDimConjecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := stats.HigherDimCoverage(4, 4)
+		if r.CoveredPct <= 50 {
+			b.Fatalf("conjecture fails: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Command embedctl plans, builds, verifies and prints mesh-in-cube
+// embeddings from the command line.
+//
+// Usage:
+//
+//	embedctl plan 5x6x7              # show the decomposition plan
+//	embedctl embed 5x6x7             # print metrics and the node map
+//	embedctl embed -torus 6x10       # wraparound mesh
+//	embedctl embed -gray 5x6x7       # Gray-code baseline
+//	embedctl embed -o map.txt 5x6x7  # save the embedding to a file
+//	embedctl verify map.txt          # reload and verify a saved embedding
+//	embedctl manyone -cube 5 19x19   # many-to-one per Corollary 5
+//	embedctl compare 12x20           # decomposition vs Gray vs reshaping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/manyone"
+	"repro/internal/mesh"
+	"repro/internal/reshape"
+	"repro/internal/wrap"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  embedctl plan <shape>                 show the decomposition plan
+  embedctl embed [-gray|-torus] [-map] <shape>
+                                        build, verify and measure
+  embedctl verify <file>                reload and verify a saved embedding
+  embedctl manyone -cube <n> <shape>    many-to-one embedding (Corollary 5)
+  embedctl compare <l1>x<l2>            reshaping-vs-decomposition table
+shapes look like 5x6x7
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "plan":
+		cmdPlan(args)
+	case "embed":
+		cmdEmbed(args)
+	case "verify":
+		cmdVerify(args)
+	case "manyone":
+		cmdManyOne(args)
+	case "compare":
+		cmdCompare(args)
+	default:
+		usage()
+	}
+}
+
+func parseShape(args []string) mesh.Shape {
+	if len(args) != 1 {
+		usage()
+	}
+	s, err := mesh.ParseShape(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(2)
+	}
+	return s
+}
+
+func cmdPlan(args []string) {
+	s := parseShape(args)
+	p := core.PlanShape(s, core.DefaultOptions)
+	fmt.Printf("shape:        %s (%d nodes)\n", s, s.Nodes())
+	fmt.Printf("minimal cube: %d dimensions (%d nodes)\n", s.MinCubeDim(), 1<<uint(s.MinCubeDim()))
+	fmt.Printf("plan:         %s\n", p)
+	fmt.Printf("paper method: %d\n", p.Method)
+	if p.Dilation == core.DilationUnknown {
+		fmt.Printf("dilation:     no a-priori bound (snake fallback; build to measure)\n")
+	} else {
+		fmt.Printf("dilation:     ≤ %d guaranteed by construction\n", p.Dilation)
+	}
+}
+
+func cmdEmbed(args []string) {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	gray := fs.Bool("gray", false, "use the Gray-code baseline instead of decomposition")
+	torus := fs.Bool("torus", false, "treat the shape as a wraparound mesh")
+	dumpMap := fs.Bool("map", false, "print the full node map")
+	outFile := fs.String("o", "", "write the embedding to this file")
+	_ = fs.Parse(args)
+	s := parseShape(fs.Args())
+
+	var e *embed.Embedding
+	switch {
+	case *torus:
+		e = wrap.Embed(s, core.DefaultOptions)
+	case *gray:
+		e = embed.Gray(s)
+	default:
+		p := core.PlanShape(s, core.DefaultOptions)
+		fmt.Printf("plan: %s\n", p)
+		e = p.Build()
+	}
+	if err := e.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl: INVALID EMBEDDING:", err)
+		os.Exit(1)
+	}
+	fmt.Println(e.Measure())
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl:", err)
+			os.Exit(1)
+		}
+		if _, err := e.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("written to %s\n", *outFile)
+	}
+	if *dumpMap {
+		coord := make([]int, s.Dims())
+		for idx, h := range e.Map {
+			s.CoordInto(idx, coord)
+			fmt.Printf("%v -> %0*b\n", coord, e.N, h)
+		}
+	}
+}
+
+func cmdVerify(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	e, err := embed.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl: INVALID:", err)
+		os.Exit(1)
+	}
+	oneToOne := e.LoadFactor() == 1
+	if oneToOne {
+		if err := e.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl: INVALID:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("valid (one-to-one: %v)\n%s\n", oneToOne, e.Measure())
+}
+
+func cmdManyOne(args []string) {
+	fs := flag.NewFlagSet("manyone", flag.ExitOnError)
+	n := fs.Int("cube", 0, "target cube dimension")
+	_ = fs.Parse(args)
+	s := parseShape(fs.Args())
+	e, plan, ok := manyone.Corollary5(s, *n)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "embedctl: no Corollary-5 cover for %s into a %d-cube\n", s, *n)
+		os.Exit(1)
+	}
+	if err := e.VerifyManyToOne(); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl: INVALID EMBEDDING:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cover: loads %v, powers %v\n", plan.Loads, plan.Pows)
+	fmt.Printf("%s (optimal load %d)\n", e.Measure(), manyone.OptimalLoad(s, *n))
+}
+
+func cmdCompare(args []string) {
+	s := parseShape(args)
+	if s.Dims() != 2 {
+		fmt.Fprintln(os.Stderr, "embedctl: compare needs a two-dimensional shape")
+		os.Exit(2)
+	}
+	fmt.Printf("%-14s %4s %9s %6s %6s %8s\n", "technique", "dil", "avgdil", "cong", "cube", "minimal")
+	for _, row := range reshape.Compare(s) {
+		fmt.Printf("%-14s %4d %9.4f %6d %6d %8v\n",
+			row.Technique, row.Dilation, row.AvgDilation, row.Congestion, row.CubeDim, row.Minimal)
+	}
+}

@@ -1,0 +1,61 @@
+// Command findembed searches for low-dilation minimal-expansion embeddings
+// of small meshes and prints them as Go tables suitable for package direct.
+//
+// Usage:
+//
+//	findembed -shape 7x9 -dilation 2 -seed 1 -restarts 64 -iters 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/embed"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("findembed: ")
+	shapeStr := flag.String("shape", "3x5", "mesh shape, e.g. 7x9 or 3x3x7")
+	dilation := flag.Int("dilation", 2, "maximum dilation to search for")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	restarts := flag.Int("restarts", 32, "annealing restarts")
+	iters := flag.Int("iters", 1_000_000, "annealing iterations per restart")
+	flag.Parse()
+
+	s, err := mesh.ParseShape(*shapeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := solver.Find(s, solver.Options{
+		MaxDilation: *dilation,
+		Seed:        *seed,
+		Restarts:    *restarts,
+		Iterations:  *iters,
+	})
+	if e == nil {
+		log.Fatalf("no dilation-%d embedding of %s found within budget", *dilation, s)
+	}
+	if err := e.Verify(); err != nil {
+		log.Fatalf("solver returned invalid embedding: %v", err)
+	}
+	e.RealizeMinCongestion()
+	fmt.Fprintf(os.Stderr, "found: %s\n", e.Measure())
+	printTable(e)
+}
+
+func printTable(e *embed.Embedding) {
+	fmt.Printf("// %s, found by cmd/findembed\n", e.Measure())
+	fmt.Printf("var map%s = []cube.Node{", e.Guest)
+	for i, h := range e.Map {
+		if i%12 == 0 {
+			fmt.Printf("\n\t")
+		}
+		fmt.Printf("%d, ", h)
+	}
+	fmt.Printf("\n}\n")
+}

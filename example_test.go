@@ -1,0 +1,53 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic flow: plan, build, inspect.
+func ExampleEmbed() {
+	r := repro.Embed(repro.MustShape("12x20"))
+	fmt.Println(r.Plan)
+	fmt.Println("minimal:", r.Metrics.Minimal, "dilation:", r.Metrics.Dilation)
+	// Output:
+	// (3x5[direct] ⊗ 4x4[gray])
+	// minimal: true dilation: 2
+}
+
+// The Gray-code baseline wastes up to half the cube on non-power-of-two
+// axes but keeps dilation one.
+func ExampleEmbedGray() {
+	r := repro.EmbedGray(repro.MustShape("12x20"))
+	fmt.Println("cube dimension:", r.Embedding.N, "minimal:", r.Metrics.Minimal)
+	// Output:
+	// cube dimension: 9 minimal: false
+}
+
+// Wraparound meshes embed with the §6 constructions.
+func ExampleEmbedTorus() {
+	r := repro.EmbedTorus(repro.MustShape("6x10"))
+	fmt.Println("dilation:", r.Metrics.Dilation, "minimal:", r.Metrics.Minimal)
+	// Output:
+	// dilation: 2 minimal: true
+}
+
+// Meshes larger than the machine embed many-to-one per Corollary 5.
+func ExampleEmbedManyToOne() {
+	r, ok := repro.EmbedManyToOne(repro.MustShape("19x19"), 5)
+	fmt.Println(ok, "load:", r.Metrics.LoadFactor, "dilation:", r.Metrics.Dilation)
+	// Output:
+	// true load: 15 dilation: 1
+}
+
+// Theorem 3: the product of embeddings embeds the product mesh with the
+// max of the factor dilations.
+func ExampleProduct() {
+	a := repro.Embed(repro.MustShape("3x5")).Embedding     // dilation 2
+	b := repro.EmbedGray(repro.MustShape("8x8")).Embedding // dilation 1
+	p := repro.Product(a, b)
+	fmt.Println(p.Guest, "dilation:", p.Dilation())
+	// Output:
+	// 24x40 dilation: 2
+}

@@ -1,0 +1,80 @@
+// Package bits provides the small bit-arithmetic helpers used throughout the
+// embedding library: Hamming distance, power-of-two roundings and base-2
+// logarithms in the forms used by the paper (⌈x⌉₂ = 2^⌈log₂ x⌉).
+package bits
+
+import "math/bits"
+
+// Hamming returns the Hamming distance between x and y, i.e. the number of
+// bit positions in which they differ.  It is the graph distance between two
+// nodes of a Boolean cube.
+func Hamming(x, y uint64) int {
+	return bits.OnesCount64(x ^ y)
+}
+
+// OnesCount returns the number of one bits in x.
+func OnesCount(x uint64) int {
+	return bits.OnesCount64(x)
+}
+
+// CeilLog2 returns ⌈log₂ x⌉ for x ≥ 1.  CeilLog2(1) == 0.
+// It panics for x < 1: the paper's ⌈·⌉₂ operator is only defined on
+// positive mesh cardinalities.
+func CeilLog2(x uint64) int {
+	if x < 1 {
+		panic("bits: CeilLog2 of non-positive value")
+	}
+	return bits.Len64(x - 1)
+}
+
+// FloorLog2 returns ⌊log₂ x⌋ for x ≥ 1.  FloorLog2(1) == 0.
+func FloorLog2(x uint64) int {
+	if x < 1 {
+		panic("bits: FloorLog2 of non-positive value")
+	}
+	return bits.Len64(x) - 1
+}
+
+// CeilPow2 returns ⌈x⌉₂ = 2^⌈log₂ x⌉, the smallest power of two ≥ x.
+// This is the paper's minimal-cube cardinality for a graph of x nodes.
+func CeilPow2(x uint64) uint64 {
+	return 1 << CeilLog2(x)
+}
+
+// FloorPow2 returns 2^⌊log₂ x⌋, the largest power of two ≤ x.
+func FloorPow2(x uint64) uint64 {
+	return 1 << FloorLog2(x)
+}
+
+// IsPow2 reports whether x is a power of two (x ≥ 1).
+func IsPow2(x uint64) bool {
+	return x >= 1 && x&(x-1) == 0
+}
+
+// Bit returns bit m of x (0 or 1), with bit 0 the least significant.
+func Bit(x uint64, m int) uint64 {
+	return (x >> uint(m)) & 1
+}
+
+// SetBit returns x with bit m set to b (b must be 0 or 1).
+func SetBit(x uint64, m int, b uint64) uint64 {
+	return (x &^ (1 << uint(m))) | (b << uint(m))
+}
+
+// FlipBit returns x with bit m inverted.
+func FlipBit(x uint64, m int) uint64 {
+	return x ^ (1 << uint(m))
+}
+
+// DiffBits returns the positions of the bits in which x and y differ, in
+// increasing order.  len(DiffBits(x,y)) == Hamming(x,y).
+func DiffBits(x, y uint64) []int {
+	d := x ^ y
+	out := make([]int, 0, bits.OnesCount64(d))
+	for d != 0 {
+		b := bits.TrailingZeros64(d)
+		out = append(out, b)
+		d &= d - 1
+	}
+	return out
+}

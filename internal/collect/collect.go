@@ -1,0 +1,98 @@
+// Package collect implements the collective-communication kernels of
+// Boolean-cube multicomputers — one-to-all broadcast over the binomial
+// spanning tree and all-reduce by dimension exchange (Johnsson 1987, the
+// paper's reference [15]) — scheduled as message rounds for the simulator.
+// Embeddings place mesh processes on cube nodes; these collectives supply
+// the global operations (dot products, norms, convergence tests) that
+// mesh-local stencil exchanges cannot.
+package collect
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/cube"
+	"repro/internal/simnet"
+)
+
+// BroadcastSchedule returns the message rounds of a one-to-all broadcast
+// from root in an n-cube over the binomial spanning tree: in round d every
+// node that already holds the datum forwards it across dimension d.  All
+// messages are nearest-neighbor, so each round has makespan one and the
+// whole broadcast takes exactly n rounds — optimal, since the cube diameter
+// is n.
+func BroadcastSchedule(root cube.Node, n int) [][]simnet.Message {
+	rounds := make([][]simnet.Message, n)
+	holders := []cube.Node{root}
+	for d := 0; d < n; d++ {
+		var msgs []simnet.Message
+		next := make([]cube.Node, 0, 2*len(holders))
+		for _, h := range holders {
+			peer := cube.Node(bits.FlipBit(uint64(h), d))
+			msgs = append(msgs, simnet.Message{Src: h, Dst: peer})
+			next = append(next, h, peer)
+		}
+		rounds[d] = msgs
+		holders = next
+	}
+	return rounds
+}
+
+// ReduceValue performs an all-reduce of per-node float64 values by
+// dimension exchange: in round d every node pairs with its dimension-d
+// neighbor and both end up with op applied across the pair.  After n rounds
+// every node holds the reduction over all 2^n nodes.  vals is indexed by
+// cube address and modified in place; the rounds of messages are returned
+// for cost accounting.
+func ReduceValue(vals []float64, op func(a, b float64) float64) [][]simnet.Message {
+	n := bits.CeilLog2(uint64(len(vals)))
+	if len(vals) != 1<<uint(n) {
+		panic(fmt.Sprintf("collect: %d values is not a power of two", len(vals)))
+	}
+	rounds := make([][]simnet.Message, n)
+	for d := 0; d < n; d++ {
+		msgs := make([]simnet.Message, 0, len(vals))
+		for v := range vals {
+			peer := int(bits.FlipBit(uint64(v), d))
+			msgs = append(msgs, simnet.Message{Src: cube.Node(v), Dst: cube.Node(peer)})
+		}
+		rounds[d] = msgs
+		// Apply the exchange once per pair.
+		for v := range vals {
+			peer := int(bits.FlipBit(uint64(v), d))
+			if peer > v {
+				r := op(vals[v], vals[peer])
+				vals[v], vals[peer] = r, r
+			}
+		}
+	}
+	return rounds
+}
+
+// AllReduceCost simulates the dimension-exchange all-reduce on an n-cube
+// and returns the total makespan (steps) over all rounds.  Every round is
+// a perfect nearest-neighbor permutation, so the cost is exactly n.
+func AllReduceCost(n int) int {
+	nw := simnet.New(n)
+	vals := make([]float64, 1<<uint(n))
+	rounds := ReduceValue(vals, func(a, b float64) float64 { return a + b })
+	total := 0
+	for _, msgs := range rounds {
+		total += nw.Run(msgs).Makespan
+	}
+	return total
+}
+
+// BroadcastCost simulates the binomial-tree broadcast and returns the total
+// makespan, which equals n on an idle network.
+func BroadcastCost(root cube.Node, n int) int {
+	nw := simnet.New(n)
+	total := 0
+	for _, msgs := range BroadcastSchedule(root, n) {
+		if len(msgs) == 0 {
+			continue
+		}
+		total += nw.Run(msgs).Makespan
+	}
+	return total
+}

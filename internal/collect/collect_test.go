@@ -1,0 +1,126 @@
+package collect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+)
+
+func TestBroadcastReachesAll(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for _, root := range []cube.Node{0, cube.Node(1<<uint(n) - 1)} {
+			rounds := BroadcastSchedule(root, n)
+			if len(rounds) != n {
+				t.Fatalf("n=%d: %d rounds", n, len(rounds))
+			}
+			have := map[cube.Node]bool{root: true}
+			for d, msgs := range rounds {
+				for _, m := range msgs {
+					if !have[m.Src] {
+						t.Fatalf("n=%d round %d: sender %d has no datum", n, d, m.Src)
+					}
+					if cube.Dist(m.Src, m.Dst) != 1 {
+						t.Fatalf("non-neighbor message %v", m)
+					}
+					have[m.Dst] = true
+				}
+			}
+			if len(have) != 1<<uint(n) {
+				t.Errorf("n=%d root=%d: reached %d of %d nodes", n, root, len(have), 1<<uint(n))
+			}
+		}
+	}
+}
+
+func TestBroadcastMessageCount(t *testing.T) {
+	// A spanning tree on 2^n nodes has exactly 2^n − 1 edges.
+	for n := 1; n <= 10; n++ {
+		total := 0
+		for _, msgs := range BroadcastSchedule(0, n) {
+			total += len(msgs)
+		}
+		if total != 1<<uint(n)-1 {
+			t.Errorf("n=%d: %d messages, want %d", n, total, 1<<uint(n)-1)
+		}
+	}
+}
+
+func TestReduceValueSum(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		vals := make([]float64, 1<<uint(n))
+		want := 0.0
+		for i := range vals {
+			vals[i] = float64(i + 1)
+			want += vals[i]
+		}
+		ReduceValue(vals, func(a, b float64) float64 { return a + b })
+		for i, v := range vals {
+			if math.Abs(v-want) > 1e-9 {
+				t.Fatalf("n=%d: node %d holds %v, want %v", n, i, v, want)
+			}
+		}
+	}
+}
+
+func TestReduceValueMax(t *testing.T) {
+	f := func(seed uint32) bool {
+		vals := make([]float64, 16)
+		max := math.Inf(-1)
+		x := uint64(seed) + 1
+		for i := range vals {
+			x = x*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(x % 1000)
+			if vals[i] > max {
+				max = vals[i]
+			}
+		}
+		ReduceValue(vals, math.Max)
+		for _, v := range vals {
+			if v != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducePanicsOnNonPower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ReduceValue(make([]float64, 12), func(a, b float64) float64 { return a })
+}
+
+func TestCollectiveCostsOptimal(t *testing.T) {
+	// Both collectives cost exactly n rounds of unit makespan: dimension
+	// exchange is a perfect matching per round, the binomial tree never
+	// reuses a link within a round.
+	for n := 1; n <= 8; n++ {
+		if c := AllReduceCost(n); c != n {
+			t.Errorf("all-reduce on %d-cube costs %d, want %d", n, c, n)
+		}
+		if c := BroadcastCost(0, n); c != n {
+			t.Errorf("broadcast on %d-cube costs %d, want %d", n, c, n)
+		}
+	}
+}
+
+func BenchmarkAllReduce(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := 0; i < b.N; i++ {
+		ReduceValue(vals, func(a, c float64) float64 { return a + c })
+	}
+}
+
+func BenchmarkBroadcastSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BroadcastSchedule(0, 10)
+	}
+}

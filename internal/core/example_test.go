@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// Theorem 3 in action: composing a dilation-2 direct embedding with a
+// Gray code keeps dilation 2 while multiplying the mesh sizes.
+func ExampleProduct() {
+	inner := core.PlanShape(mesh.Shape{3, 5}, core.DefaultOptions).Build()
+	outer := embed.Gray(mesh.Shape{4, 4})
+	p := core.Product(inner, outer)
+	fmt.Println(p.Guest, "dilation:", p.Dilation(), "minimal:", p.Minimal())
+	// Output:
+	// 12x20 dilation: 2 minimal: true
+}
+
+// The §5 planner chooses among the paper's methods and reports its tree.
+func ExamplePlanShape() {
+	p := core.PlanShape(mesh.Shape{21, 9, 5}, core.DefaultOptions)
+	fmt.Println("method:", p.Method)
+	fmt.Println("guaranteed dilation:", p.Dilation)
+	// Output:
+	// method: 4
+	// guaranteed dilation: 2
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+func TestFoldedShape(t *testing.T) {
+	got := foldedShape(mesh.Shape{3, 21}, 1, 3, 7)
+	if !got.Equal(mesh.Shape{3, 3, 7}) {
+		t.Errorf("foldedShape = %v", got)
+	}
+	got = foldedShape(mesh.Shape{10, 4}, 0, 5, 2)
+	if !got.Equal(mesh.Shape{5, 4, 2}) {
+		t.Errorf("foldedShape = %v", got)
+	}
+}
+
+func TestUnfoldPreservesAdjacency(t *testing.T) {
+	// Guest edges must map to folded-mesh edges: build the folded mesh's
+	// Gray embedding (dilation 1) and check the unfolded guest inherits
+	// dilation ≤ 1 on every edge that the folded mesh realizes directly.
+	f := func(aRaw, bRaw, lRaw, axisRaw uint8) bool {
+		a := int(aRaw%4) + 2
+		b := int(bRaw%4) + 2
+		other := int(lRaw%6) + 1
+		guest := mesh.Shape{other, a * b}
+		axis := 1
+		if axisRaw%2 == 0 {
+			guest = mesh.Shape{a * b, other}
+			axis = 0
+		}
+		fshape := foldedShape(guest, axis, a, b)
+		fe := embed.Gray(fshape)
+		e := unfold(fe, guest, axis, a, b)
+		if err := e.Verify(); err != nil {
+			return false
+		}
+		return e.Dilation() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnfoldCoveringFold(t *testing.T) {
+	// 13 folded as 2x7 (cover 14): one folded slot unused; the embedding
+	// must stay injective and edge-preserving.
+	guest := mesh.Shape{13, 3}
+	fshape := foldedShape(guest, 0, 2, 7)
+	fe := embed.Gray(fshape)
+	e := unfold(fe, guest, 0, 2, 7)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Dilation() > 1 {
+		t.Errorf("covering fold dilation %d, want ≤ 1", e.Dilation())
+	}
+}
+
+func TestUnfoldPanicsOnMismatch(t *testing.T) {
+	guest := mesh.Shape{3, 21}
+	fe := embed.Gray(mesh.Shape{3, 3, 7})
+	for _, bad := range []func(){
+		func() { unfold(fe, guest, 1, 3, 5) },             // wrong b
+		func() { unfold(fe, guest, 0, 3, 7) },             // wrong axis
+		func() { unfold(fe, mesh.Shape{3, 22}, 1, 3, 7) }, // cover too small
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestPlanByFoldingDepthGuard(t *testing.T) {
+	if p := planByFolding(mesh.Shape{3, 21}, DefaultOptions, 1); p != nil {
+		t.Error("fold at depth 1 should be blocked")
+	}
+	if p := planByFolding(mesh.Shape{3, 21}, DefaultOptions, 0); p == nil {
+		t.Error("fold at depth 0 should find the 3x3x7 lift")
+	}
+}
+
+func TestCoveringFoldResolves13x17(t *testing.T) {
+	s := mesh.Shape{13, 17}
+	p := PlanShape(s, DefaultOptions)
+	e := p.Build()
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() || e.Dilation() > 2 {
+		t.Errorf("13x17: %s (plan %s)", e.Measure(), p)
+	}
+}
+
+func TestFoldPlanMetricsConsistent(t *testing.T) {
+	// The fold plan's guaranteed dilation must hold on the built guest.
+	for _, str := range []string{"3x21", "13x17", "9x14", "25x5"} {
+		s := mesh.MustParse(str)
+		p := PlanShape(s, DefaultOptions)
+		e := p.Build()
+		if err := e.Verify(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if p.Dilation != DilationUnknown && e.Dilation() > p.Dilation {
+			t.Errorf("%v: measured %d > guaranteed %d (plan %s)", s, e.Dilation(), p.Dilation, p)
+		}
+	}
+}
+
+func BenchmarkPlanWithFold(b *testing.B) {
+	shapes := []mesh.Shape{{3, 21}, {13, 17}}
+	for i := 0; i < b.N; i++ {
+		_ = PlanShape(shapes[i%2], Options{})
+	}
+}

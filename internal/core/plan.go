@@ -1,0 +1,630 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/cube"
+	"repro/internal/direct"
+	"repro/internal/embed"
+	"repro/internal/gray"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+	"repro/internal/stats"
+)
+
+// Kind enumerates the constructions a Plan node can take.
+type Kind int
+
+const (
+	KindGray    Kind = iota // binary-reflected Gray code embedding
+	KindDirect              // frozen direct table (package direct)
+	KindProduct             // graph decomposition (Corollary 2)
+	KindSubMesh             // restriction of a larger plan's mesh
+	KindSolver              // embedding found by internal/solver at plan time
+	KindSnake               // snake-order Gray fallback (valid, dilation measured)
+	KindFold                // axis folded into two axes (ℓ = a·b), child planned
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGray:
+		return "gray"
+	case KindDirect:
+		return "direct"
+	case KindProduct:
+		return "product"
+	case KindSubMesh:
+		return "submesh"
+	case KindSolver:
+		return "solver"
+	case KindSnake:
+		return "snake"
+	case KindFold:
+		return "fold"
+	}
+	return "unknown"
+}
+
+// DilationUnknown marks constructions with no a-priori dilation bound.
+const DilationUnknown = 1 << 20
+
+// Plan is a construction tree for an embedding.  Build realizes it.
+type Plan struct {
+	Kind    Kind
+	Shape   mesh.Shape // guest shape this node embeds
+	CubeDim int        // host cube dimension
+
+	// Dilation is the bound guaranteed by the construction rules
+	// (Theorem 3 for products); DilationUnknown when no bound is known
+	// before building (snake fallback).
+	Dilation int
+
+	// Method records which Section 5 method produced a top-level 3D plan
+	// (1..4), 5 for the beyond-paper constructive fallbacks, 0 elsewhere.
+	Method int
+
+	Factors []*Plan    // Product: the decomposition factors
+	Super   mesh.Shape // SubMesh: the enclosing shape actually embedded
+	Child   *Plan      // SubMesh/Fold: plan for the transformed shape
+
+	// Fold parameters: guest axis FoldAxis of length a·b becomes two
+	// folded-mesh axes of lengths FoldA (at FoldAxis) and FoldB
+	// (appended), consecutive strips reflected so the fold costs no
+	// dilation.
+	FoldAxis, FoldA, FoldB int
+
+	solved *embed.Embedding // Solver: the embedding found during planning
+}
+
+// Minimal reports whether the plan uses the minimal cube for its shape.
+func (p *Plan) Minimal() bool { return p.CubeDim == p.Shape.MinCubeDim() }
+
+// RelExpansion returns 2^CubeDim / ⌈|V|⌉₂, the relative expansion of §5
+// (1 when minimal).
+func (p *Plan) RelExpansion() float64 {
+	return float64(uint64(1)<<uint(p.CubeDim)) / float64(bits.CeilPow2(uint64(p.Shape.Nodes())))
+}
+
+// String renders the plan tree on one line.
+func (p *Plan) String() string {
+	var b strings.Builder
+	p.render(&b)
+	return b.String()
+}
+
+func (p *Plan) render(b *strings.Builder) {
+	switch p.Kind {
+	case KindProduct:
+		b.WriteString("(")
+		for i, f := range p.Factors {
+			if i > 0 {
+				b.WriteString(" ⊗ ")
+			}
+			f.render(b)
+		}
+		b.WriteString(")")
+	case KindSubMesh:
+		fmt.Fprintf(b, "%s⊆", p.Shape)
+		p.Child.render(b)
+	case KindFold:
+		fmt.Fprintf(b, "%s↷", p.Shape)
+		p.Child.render(b)
+	default:
+		fmt.Fprintf(b, "%s[%s]", p.Shape, p.Kind)
+	}
+}
+
+// Build constructs the embedding described by the plan and verifies the
+// construction-level invariants (cube dimension, guest shape).
+func (p *Plan) Build() *embed.Embedding {
+	var e *embed.Embedding
+	switch p.Kind {
+	case KindGray:
+		e = embed.Gray(p.Shape)
+	case KindDirect:
+		var ok bool
+		e, ok = direct.Embedding(p.Shape)
+		if !ok {
+			panic(fmt.Sprintf("core: no direct table for %v", p.Shape))
+		}
+	case KindProduct:
+		e = p.Factors[0].Build()
+		for _, f := range p.Factors[1:] {
+			e = Product(e, f.Build())
+		}
+	case KindSubMesh:
+		e = SubMesh(p.Child.Build(), p.Shape)
+	case KindSolver:
+		if p.solved == nil {
+			panic("core: solver plan without solution")
+		}
+		e = p.solved
+	case KindSnake:
+		e = Snake(p.Shape)
+	case KindFold:
+		e = unfold(p.Child.Build(), p.Shape, p.FoldAxis, p.FoldA, p.FoldB)
+	default:
+		panic("core: unknown plan kind")
+	}
+	if !e.Guest.Equal(p.Shape) {
+		panic(fmt.Sprintf("core: plan for %v built %v", p.Shape, e.Guest))
+	}
+	if e.N != p.CubeDim {
+		panic(fmt.Sprintf("core: plan for %v promised %d-cube, built %d-cube", p.Shape, p.CubeDim, e.N))
+	}
+	return e
+}
+
+// Snake returns the minimal-expansion fallback embedding: guest nodes in
+// boustrophedon order are assigned consecutive Gray codewords of the minimal
+// cube.  Always valid and minimal; edges along the snake have dilation one
+// but cross-snake edges can be long, so the dilation must be measured.
+func Snake(s mesh.Shape) *embed.Embedding {
+	n := s.MinCubeDim()
+	e := embed.New(s, n)
+	order := SnakeOrder(s)
+	for pos, g := range order {
+		e.Map[g] = cube.Node(gray.Encode(uint64(pos)))
+	}
+	return e
+}
+
+// SnakeOrder returns the guest indices in reflected mixed-radix order:
+// consecutive entries are mesh neighbors.
+func SnakeOrder(s mesh.Shape) []int {
+	n := s.Nodes()
+	out := make([]int, n)
+	coord := make([]int, s.Dims())
+	digits := make([]int, s.Dims())
+	for i := 0; i < n; i++ {
+		rem := i
+		for j := 0; j < s.Dims(); j++ {
+			digits[j] = rem % s[j]
+			rem /= s[j]
+		}
+		for j := 0; j < s.Dims(); j++ {
+			parity := 0
+			for k := j + 1; k < s.Dims(); k++ {
+				parity += digits[k]
+			}
+			if parity&1 == 1 {
+				coord[j] = s[j] - 1 - digits[j]
+			} else {
+				coord[j] = digits[j]
+			}
+		}
+		out[i] = s.Index(coord)
+	}
+	return out
+}
+
+// Options tunes the planner.
+type Options struct {
+	// SolverBudget enables a solver search for shapes with at most this
+	// many nodes when the structured methods fail (0 disables).  The
+	// search is deterministic (fixed seed) but costs time.
+	SolverBudget int
+	// SolverSeed seeds the optional solver search.
+	SolverSeed int64
+}
+
+// DefaultOptions enables a small solver budget: shapes up to 36 nodes are
+// searched directly when no structured plan applies.
+var DefaultOptions = Options{SolverBudget: 36, SolverSeed: 1}
+
+// PlanShape returns a minimal-expansion plan for the shape, choosing the
+// lowest guaranteed dilation among the applicable constructions: Gray
+// (method 1), 2D embedding + Gray pairs (method 2), direct 3D blocks
+// (method 3), axis-extension decomposition (method 4), and the solver/snake
+// fallbacks (method 5, beyond the paper).  The returned plan always embeds
+// into the minimal cube.
+func PlanShape(s mesh.Shape, opts Options) *Plan {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	best := planMinimal(s, opts)
+	if best == nil {
+		best = &Plan{Kind: KindSnake, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
+			Dilation: DilationUnknown, Method: 5}
+	}
+	if best.Method == 0 {
+		best.Method = classifyMethod(s, best)
+	}
+	return best
+}
+
+// classifyMethod labels a plan with the paper's method index for reporting:
+// for three-active-axis shapes the counting predicates of §5 decide; other
+// arities use 1 for Gray plans and 5 (beyond-paper constructive) otherwise.
+func classifyMethod(s mesh.Shape, p *Plan) int {
+	if p.Kind == KindGray {
+		return 1
+	}
+	var active []int
+	for _, l := range s {
+		if l > 1 {
+			active = append(active, l)
+		}
+	}
+	if len(active) == 3 && p.Dilation <= 2 {
+		if m := stats.BestMethod(active[0], active[1], active[2]); m != 0 {
+			return m
+		}
+	}
+	return 5
+}
+
+// planMinimal returns the best structured minimal-expansion plan, or nil.
+func planMinimal(s mesh.Shape, opts Options) *Plan {
+	return planMinimalDepth(s, opts, 0)
+}
+
+// planMinimalDepth is planMinimal with the axis-folding recursion depth
+// threaded through (folding may nest only once).
+func planMinimalDepth(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	// Method 1: Gray code.
+	if s.GrayMinimal() {
+		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
+			Dilation: 1, Method: 1}
+	}
+	// Reduce axes of length 1: they change nothing structurally but let
+	// the 2D/3D machinery below see the true dimensionality.
+	active := 0
+	for _, l := range s {
+		if l > 1 {
+			active++
+		}
+	}
+	switch active {
+	case 0, 1:
+		// A line: Gray is minimal for a single axis, so GrayMinimal would
+		// have caught it.  (Unreachable, kept for safety.)
+		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.GrayCubeDim(),
+			Dilation: 1, Method: 1}
+	case 2:
+		return plan2D(s, opts, foldDepth)
+	case 3:
+		return plan3D(s, opts, foldDepth)
+	default:
+		return planHighDim(s, opts)
+	}
+}
+
+// better returns the preferred of two plans (either may be nil): lower
+// guaranteed dilation wins; products with fewer factors break ties.
+func better(a, b *Plan) *Plan {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.Dilation != b.Dilation {
+		if a.Dilation < b.Dilation {
+			return a
+		}
+		return b
+	}
+	if len(a.Factors) <= len(b.Factors) {
+		return a
+	}
+	return b
+}
+
+// shapeWithAxis returns a k-dim shape that is 1 everywhere except the given
+// axis positions.
+func shapeWithAxes(k int, axes []int, lengths []int) mesh.Shape {
+	out := make(mesh.Shape, k)
+	for i := range out {
+		out[i] = 1
+	}
+	for i, a := range axes {
+		out[a] = lengths[i]
+	}
+	return out
+}
+
+// plan2D plans a shape with exactly two axes of length > 1 into its minimal
+// cube.  Returns nil if no structured construction applies.
+func plan2D(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	target := s.MinCubeDim()
+
+	// Direct table, possibly with permutation / padding.
+	if tab, _, ok := direct.Lookup(s); ok {
+		return &Plan{Kind: KindDirect, Shape: s.Clone(), CubeDim: tab.Shape.MinCubeDim(),
+			Dilation: tab.Dilation, Method: 2}
+	}
+
+	// Decomposition over the direct tables: s = direct ∘ residual, residual
+	// planned recursively (Gray or a further decomposition).
+	var best *Plan
+	if p := planByFactoring(s, opts, 0); p != nil && p.CubeDim == target {
+		best = better(best, p)
+	}
+
+	// Extension: embed a slightly larger mesh that decomposes, then take
+	// the submesh (strategy step 3).  Grow one axis while the minimal cube
+	// stays put.
+	if p := planByExtension(s, opts); p != nil {
+		best = better(best, p)
+	}
+
+	// Two-dimensional split (the 2D analogue of method 4): write one axis
+	// as ℓ'·ℓ'' ≥ ℓ with ⌈ℓother·ℓ'⌉₂·⌈ℓ''⌉₂ == ⌈|V|⌉₂, embed the
+	// (ℓother × ℓ') factor recursively and ℓ'' by a Gray code.
+	if best == nil || best.Dilation > 2 {
+		if p := planBy2DSplit(s, opts); p != nil {
+			best = better(best, p)
+		}
+	}
+
+	// Axis folding: ℓ = a·b refolds the mesh into three dimensions, where
+	// the direct 3-D tables may apply (e.g. 3x21 onto 3x3x7).
+	if best == nil || best.Dilation > 2 {
+		if p := planByFolding(s, opts, foldDepth); p != nil {
+			best = better(best, p)
+		}
+	}
+
+	if best != nil {
+		return best
+	}
+
+	// Solver fallback for small shapes.
+	if p := planBySolver(s, opts); p != nil {
+		return p
+	}
+	return nil
+}
+
+// planBy2DSplit splits one axis of a two-active-axis shape as ℓ'·ℓ” and
+// embeds (ℓa × ℓ') ⊗ Gray(ℓ”), restricting to the guest at the end.
+// Example: 5x6 = (5x3) ⊗ (1x2) — the 3x5 direct table lifts to a
+// dilation-two minimal-expansion embedding of 5x6.
+func planBy2DSplit(s mesh.Shape, opts Options) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 2 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	total := uint64(1) << uint(target)
+	k := s.Dims()
+	var best *Plan
+	for t := 0; t < 2; t++ {
+		m, a := axes[t], axes[1-t]
+		lm, la := s[m], s[a]
+		for p := 0; p <= target; p++ {
+			P := uint64(1) << uint(p)
+			Q := total / P
+			lpMax := int(P) / la
+			if lpMax < 1 || Q < 1 {
+				continue
+			}
+			// ℓ'' is a Gray factor: ⌈ℓ''⌉₂ == Q means ℓ'' ∈ (Q/2, Q].
+			lppMax := int(Q)
+			if lpMax*lppMax < lm {
+				continue
+			}
+			lpp := (lm + lpMax - 1) / lpMax
+			if lo := int(Q/2) + 1; lpp < lo {
+				lpp = lo
+			}
+			if lpp > lppMax {
+				continue
+			}
+			lp := (lm + lpp - 1) / lpp
+			if lo := int(P/2)/la + 1; lp < lo {
+				lp = lo
+			}
+			if lp > lpMax || lp*lpp < lm {
+				lp = lpMax
+			}
+			if bits.CeilPow2(uint64(la*lp))*bits.CeilPow2(uint64(lpp)) != total {
+				continue
+			}
+			if lp == lm && lpp == 1 {
+				continue // degenerate: no actual split
+			}
+			f1Shape := shapeWithAxes(k, []int{a, m}, []int{la, lp})
+			var f1 *Plan
+			if f1Shape.GrayMinimal() {
+				f1 = &Plan{Kind: KindGray, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 1}
+			} else if _, _, ok := direct.Lookup(f1Shape); ok {
+				f1 = &Plan{Kind: KindDirect, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 2}
+			} else if p := planByFactoring(f1Shape, opts, 2); p != nil {
+				f1 = p
+			} else if p := planBySolver(f1Shape, opts); p != nil {
+				f1 = p
+			} else {
+				continue
+			}
+			f2Shape := shapeWithAxes(k, []int{m}, []int{lpp})
+			f2 := &Plan{Kind: KindGray, Shape: f2Shape,
+				CubeDim: bits.CeilLog2(uint64(lpp)), Dilation: 1}
+			if f1.CubeDim+f2.CubeDim != target {
+				continue
+			}
+			super := f1Shape.Product(f2Shape)
+			prod := &Plan{Kind: KindProduct, Shape: super, CubeDim: target,
+				Dilation: maxInt(f1.Dilation, 1), Factors: []*Plan{f1, f2}}
+			var cand *Plan
+			if super.Equal(s) {
+				cand = prod
+			} else {
+				cand = &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: prod.Dilation, Super: super, Child: prod}
+			}
+			best = better(best, cand)
+			if best.Dilation <= 2 {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// planByFactoring searches decompositions s = t ∘ r where t matches a
+// direct table and r is planned recursively.  depth caps the recursion.
+func planByFactoring(s mesh.Shape, opts Options, depth int) *Plan {
+	if depth > 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	var best *Plan
+	k := s.Dims()
+	for _, tab := range direct.Tables {
+		// The table's axes of length > 1, to be injected into s's axes.
+		var tl []int
+		for _, l := range tab.Shape {
+			if l > 1 {
+				tl = append(tl, l)
+			}
+		}
+		perms := axisInjections(tab.Shape, s)
+		for _, axes := range perms {
+			residual := s.Clone()
+			tshape := shapeWithAxes(k, axes, tl)
+			ok := true
+			for i := range s {
+				if s[i]%tshape[i] != 0 {
+					ok = false
+					break
+				}
+				residual[i] = s[i] / tshape[i]
+			}
+			if !ok {
+				continue
+			}
+			tdim := tab.Shape.MinCubeDim()
+			rdim := target - tdim
+			if rdim < 0 || bits.CeilLog2(uint64(residual.Nodes())) > rdim {
+				continue // residual cannot fit the remaining dimensions
+			}
+			var rplan *Plan
+			if residual.GrayCubeDim() == rdim {
+				rplan = &Plan{Kind: KindGray, Shape: residual, CubeDim: rdim, Dilation: 1}
+			} else if residual.MinCubeDim() == rdim {
+				rplan = planByFactoring(residual, opts, depth+1)
+				if rplan == nil {
+					if p := planBySolver(residual, opts); p != nil && p.CubeDim == rdim {
+						rplan = p
+					}
+				}
+			}
+			if rplan == nil || rplan.CubeDim != rdim {
+				continue
+			}
+			dplan := &Plan{Kind: KindDirect, Shape: tshape, CubeDim: tdim, Dilation: tab.Dilation}
+			prod := &Plan{
+				Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
+				Dilation: maxInt(dplan.Dilation, rplan.Dilation),
+				Factors:  []*Plan{dplan, rplan},
+			}
+			best = better(best, prod)
+		}
+	}
+	return best
+}
+
+// axisInjections lists the ways to assign the axes of t (all of length >1)
+// to distinct axes of s.  Axes of t equal to 1 are dropped.
+func axisInjections(t, s mesh.Shape) [][]int {
+	var tl []int
+	for _, l := range t {
+		if l > 1 {
+			tl = append(tl, l)
+		}
+	}
+	var out [][]int
+	used := make([]bool, s.Dims())
+	cur := make([]int, len(tl))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(tl) {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for j := 0; j < s.Dims(); j++ {
+			if !used[j] && s[j]%tl[i] == 0 {
+				used[j] = true
+				cur[i] = j
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	// Re-express lengths: caller zips axes with t's >1 lengths.
+	return out
+}
+
+// planByExtension grows one axis of s while ⌈|V|⌉₂ is unchanged and plans
+// the grown shape by factoring; the result is wrapped in a SubMesh node.
+func planByExtension(s mesh.Shape, opts Options) *Plan {
+	target := s.MinCubeDim()
+	total := uint64(1) << uint(target)
+	var best *Plan
+	for i := range s {
+		rest := 1
+		for j := range s {
+			if j != i {
+				rest *= s[j]
+			}
+		}
+		maxLen := int(total) / rest
+		for l := s[i] + 1; l <= maxLen; l++ {
+			grown := s.Clone()
+			grown[i] = l
+			if grown.MinCubeDim() != target {
+				break
+			}
+			if grown.GrayMinimal() {
+				child := &Plan{Kind: KindGray, Shape: grown, CubeDim: target, Dilation: 1}
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: 1, Super: grown, Child: child}
+				best = better(best, sub)
+				continue
+			}
+			if _, _, ok := direct.Lookup(grown); ok {
+				child := &Plan{Kind: KindDirect, Shape: grown, CubeDim: target, Dilation: 2}
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: 2, Super: grown, Child: child}
+				best = better(best, sub)
+				continue
+			}
+			if p := planByFactoring(grown, opts, 1); p != nil && p.CubeDim == target {
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: p.Dilation, Super: grown, Child: p}
+				best = better(best, sub)
+			}
+		}
+	}
+	return best
+}
+
+// planBySolver runs the deterministic solver when the shape is within the
+// configured budget.
+func planBySolver(s mesh.Shape, opts Options) *Plan {
+	if opts.SolverBudget <= 0 || s.Nodes() > opts.SolverBudget {
+		return nil
+	}
+	e := solver.Find(s, solver.Options{MaxDilation: 2, Seed: opts.SolverSeed,
+		Restarts: 6, Iterations: 150_000})
+	if e == nil {
+		return nil
+	}
+	e.RealizeMinCongestion()
+	return &Plan{Kind: KindSolver, Shape: s.Clone(), CubeDim: e.N,
+		Dilation: e.Dilation(), Method: 5, solved: e}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

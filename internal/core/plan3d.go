@@ -1,0 +1,320 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/mesh"
+)
+
+// plan3D plans a shape with exactly three axes of length > 1 into its
+// minimal cube using the methods of Section 5 (Gray is method 1, handled by
+// the caller):
+//
+//  2. a two-dimensional embedding of one axis pair combined with a Gray
+//     code on the third axis,
+//  3. a direct 3x3x3 or 3x3x7 block combined with Gray codes (via the
+//     general factoring search, which also finds richer decompositions),
+//  4. axis extension: split one axis as ℓ'·ℓ” ≥ ℓ and embed the product
+//     of two two-dimensional meshes (Corollary 2), restricting at the end.
+//
+// Returns nil when no structured construction reaches the minimal cube.
+func plan3D(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	var best *Plan
+	if p := planPairPlusGray(s, opts, foldDepth); p != nil {
+		best = better(best, p)
+	}
+	if p := planByFactoring(s, opts, 0); p != nil {
+		best = better(best, p) // paper method index assigned by classifyMethod
+	}
+	if best != nil && best.Dilation <= 2 {
+		return best // methods 2/3 already optimal; method 4 cannot beat 2
+	}
+	if p := planBySplit(s, opts, foldDepth); p != nil {
+		best = better(best, p)
+	}
+	if p := planByExtension(s, opts); p != nil {
+		best = better(best, p)
+	}
+	if best == nil || best.Dilation > 2 {
+		if p := planByFolding(s, opts, foldDepth); p != nil {
+			best = better(best, p)
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if p := planBySolver(s, opts); p != nil {
+		return p
+	}
+	return nil
+}
+
+// activeAxes returns the indices of axes with length > 1.
+func activeAxes(s mesh.Shape) []int {
+	var out []int
+	for i, l := range s {
+		if l > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// planPairPlusGray implements method 2: find an axis pair (i, j) with
+// ⌈ℓiℓj⌉₂ · ⌈ℓk⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂, embed the ℓi×ℓj mesh two-dimensionally and
+// the remaining axis by a Gray code.  Among valid pairs the one whose 2D
+// plan has the lowest guaranteed dilation wins, matching the paper's advice
+// to pick the two axes with the smallest ℓ/⌈ℓ⌉₂.
+func planPairPlusGray(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	k := s.Dims()
+	var best *Plan
+	for t := 0; t < 3; t++ {
+		i, j, rest := axes[t], axes[(t+1)%3], axes[(t+2)%3]
+		pairDim := bits.CeilLog2(uint64(s[i] * s[j]))
+		grayDim := bits.CeilLog2(uint64(s[rest]))
+		if pairDim+grayDim != target {
+			continue
+		}
+		pairShape := shapeWithAxes(k, []int{i, j}, []int{s[i], s[j]})
+		pairPlan := planMinimalDepth(pairShape, opts, foldDepth)
+		if pairPlan == nil {
+			// Chan [4] guarantees a dilation-2 embedding exists; our
+			// constructive stand-in is the snake fallback with measured
+			// dilation (see DESIGN.md, substitution 1b).
+			pairPlan = &Plan{Kind: KindSnake, Shape: pairShape, CubeDim: pairDim,
+				Dilation: DilationUnknown}
+		}
+		grayShape := shapeWithAxes(k, []int{rest}, []int{s[rest]})
+		grayPlan := &Plan{Kind: KindGray, Shape: grayShape, CubeDim: grayDim, Dilation: 1}
+		prod := &Plan{
+			Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
+			Dilation: maxInt(pairPlan.Dilation, 1),
+			Factors:  []*Plan{pairPlan, grayPlan},
+			Method:   2,
+		}
+		best = better(best, prod)
+	}
+	return best
+}
+
+// planBySplit implements method 4: choose a split axis m and the remaining
+// axes a, b; find ℓ'·ℓ” ≥ ℓm with ⌈ℓa·ℓ'⌉₂ · ⌈ℓ”·ℓb⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂; embed
+// the product (ℓa × ℓ') ⊗ (ℓ” × ℓb) by Corollary 2 and restrict to the
+// guest.  Both factors are two-dimensional meshes.
+func planBySplit(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	k := s.Dims()
+	total := uint64(1) << uint(target)
+	var best *Plan
+	for t := 0; t < 3; t++ {
+		m, a, b := axes[t], axes[(t+1)%3], axes[(t+2)%3]
+		lm, la, lb := s[m], s[a], s[b]
+		for p := 0; p <= target; p++ {
+			P := uint64(1) << uint(p)
+			Q := total / P
+			lp, lpp, ok := splitFactors(lm, la, lb, P, Q)
+			if !ok {
+				continue
+			}
+			f1Shape := shapeWithAxes(k, []int{a, m}, []int{la, lp})
+			f2Shape := shapeWithAxes(k, []int{m, b}, []int{lpp, lb})
+			f1 := planMinimalOrSnake(f1Shape, opts, foldDepth)
+			f2 := planMinimalOrSnake(f2Shape, opts, foldDepth)
+			if f1.CubeDim+f2.CubeDim != target {
+				continue
+			}
+			super := f1Shape.Product(f2Shape)
+			prod := &Plan{
+				Kind: KindProduct, Shape: super, CubeDim: target,
+				Dilation: maxInt(f1.Dilation, f2.Dilation),
+				Factors:  []*Plan{f1, f2},
+			}
+			var cand *Plan
+			if super.Equal(s) {
+				prod.Method = 4
+				cand = prod
+			} else {
+				cand = &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: prod.Dilation, Super: super, Child: prod, Method: 4}
+			}
+			best = better(best, cand)
+			if best.Dilation <= 2 {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// splitFactors solves method 4's arithmetic for one (P, Q) factorization of
+// the minimal cube: find ℓ', ℓ” with ℓ'·ℓ” ≥ ℓm, ⌈ℓa·ℓ'⌉₂ == P and
+// ⌈ℓ”·ℓb⌉₂ == Q, keeping the extension waste ℓ'ℓ” − ℓm small.
+// A feasible pair exists iff ⌊P/ℓa⌋·⌊Q/ℓb⌋ ≥ ℓm (with both ≥ 1).
+func splitFactors(lm, la, lb int, P, Q uint64) (lp, lpp int, ok bool) {
+	lpMax := int(P) / la
+	lppMax := int(Q) / lb
+	if lpMax < 1 || lppMax < 1 || lpMax*lppMax < lm {
+		return 0, 0, false
+	}
+	// With lp = lpMax, ⌈la·lp⌉₂ == P automatically (la·lpMax > P−la ≥ P/2
+	// unless lpMax == 1, where la ∈ (P/2, P]).  Pick the smallest ℓ''
+	// that still satisfies ⌈ℓ''·ℓb⌉₂ == Q, i.e. ℓ''·ℓb > Q/2.
+	lppLo := int(Q/2)/lb + 1
+	lpp = (lm + lpMax - 1) / lpMax // ⌈ℓm/ℓ'⌉, the least cover
+	if lpp < lppLo {
+		lpp = lppLo
+	}
+	if lpp > lppMax {
+		return 0, 0, false
+	}
+	// Shrink ℓ' back as far as the cover and ⌈ℓa·ℓ'⌉₂ == P allow, to
+	// minimize the SubMesh waste.
+	lp = (lm + lpp - 1) / lpp
+	if lo1 := int(P/2)/la + 1; lp < lo1 {
+		lp = lo1
+	}
+	if lp > lpMax || lp*lpp < lm {
+		lp = lpMax
+	}
+	return lp, lpp, true
+}
+
+// planMinimalOrSnake plans the shape into its minimal cube, falling back to
+// the snake embedding so a plan always exists.
+func planMinimalOrSnake(s mesh.Shape, opts Options, foldDepth int) *Plan {
+	if p := planMinimalDepth(s, opts, foldDepth); p != nil {
+		return p
+	}
+	return &Plan{Kind: KindSnake, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
+		Dilation: DilationUnknown}
+}
+
+// planHighDim plans shapes with four or more axes of length > 1 (the
+// strategy of Section 4.2): power-of-two axes are pulled into one Gray
+// factor — always free, since ⌈a·2^c⌉₂ = 2^c·⌈a⌉₂ — and the remaining axes
+// are planned recursively when three or fewer remain, or paired up
+// two-dimensionally otherwise.
+func planHighDim(s mesh.Shape, opts Options) *Plan {
+	k := s.Dims()
+	var pow2Axes, oddAxes []int
+	for i, l := range s {
+		if l == 1 {
+			continue
+		}
+		if bits.IsPow2(uint64(l)) {
+			pow2Axes = append(pow2Axes, i)
+		} else {
+			oddAxes = append(oddAxes, i)
+		}
+	}
+	target := s.MinCubeDim()
+
+	if len(pow2Axes) > 0 && len(oddAxes) > 0 {
+		lengths := make([]int, len(pow2Axes))
+		grayDim := 0
+		for i, a := range pow2Axes {
+			lengths[i] = s[a]
+			grayDim += bits.CeilLog2(uint64(s[a]))
+		}
+		grayShape := shapeWithAxes(k, pow2Axes, lengths)
+		grayPlan := &Plan{Kind: KindGray, Shape: grayShape, CubeDim: grayDim, Dilation: 1}
+		restLengths := make([]int, len(oddAxes))
+		for i, a := range oddAxes {
+			restLengths[i] = s[a]
+		}
+		restShape := shapeWithAxes(k, oddAxes, restLengths)
+		restPlan := planMinimalOrSnake(restShape, opts, 1)
+		if grayDim+restPlan.CubeDim == target {
+			return &Plan{
+				Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
+				Dilation: maxInt(1, restPlan.Dilation),
+				Factors:  []*Plan{grayPlan, restPlan},
+				Method:   2,
+			}
+		}
+	}
+
+	// All-odd high-dimensional shapes: pair axes two-dimensionally and
+	// check the pairing reaches the minimal cube.
+	if len(oddAxes) >= 4 {
+		if p := planByPairing(s, oddAxes, opts); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// planByPairing partitions the given axes into pairs (one axis may remain
+// single) and embeds each pair two-dimensionally; valid when the pairwise
+// ⌈·⌉₂ products multiply to the minimal cube.
+func planByPairing(s mesh.Shape, axes []int, opts Options) *Plan {
+	k := s.Dims()
+	target := s.MinCubeDim()
+	var best *Plan
+	var rec func(remaining []int, factors []*Plan, dims int)
+	rec = func(remaining []int, factors []*Plan, dims int) {
+		if best != nil && best.Dilation <= 2 {
+			return
+		}
+		if len(remaining) == 0 {
+			if dims != target {
+				return
+			}
+			fs := make([]*Plan, len(factors))
+			copy(fs, factors)
+			d := 0
+			for _, f := range fs {
+				d = maxInt(d, f.Dilation)
+			}
+			best = better(best, &Plan{Kind: KindProduct, Shape: s.Clone(),
+				CubeDim: target, Dilation: d, Factors: fs, Method: 2})
+			return
+		}
+		a := remaining[0]
+		// Pair a with each later axis.
+		for i := 1; i < len(remaining); i++ {
+			b := remaining[i]
+			pairShape := shapeWithAxes(k, []int{a, b}, []int{s[a], s[b]})
+			pd := pairShape.MinCubeDim()
+			if dims+pd > target {
+				continue
+			}
+			rest := append(append([]int{}, remaining[1:i]...), remaining[i+1:]...)
+			fp := planMinimalOrSnake(pairShape, opts, 1)
+			rec(rest, append(factors, fp), dims+pd)
+		}
+		// Triple a with two later axes (the §5 three-dimensional methods,
+		// e.g. the 3x3x3 block inside 6x6x6x6).
+		for i := 1; i < len(remaining); i++ {
+			for j := i + 1; j < len(remaining); j++ {
+				b, c := remaining[i], remaining[j]
+				tripleShape := shapeWithAxes(k, []int{a, b, c}, []int{s[a], s[b], s[c]})
+				td := tripleShape.MinCubeDim()
+				if dims+td > target {
+					continue
+				}
+				rest := append(append([]int{}, remaining[1:i]...), remaining[i+1:j]...)
+				rest = append(rest, remaining[j+1:]...)
+				fp := planMinimalOrSnake(tripleShape, opts, 1)
+				rec(rest, append(factors, fp), dims+td)
+			}
+		}
+		// Or leave a single (Gray).
+		singleShape := shapeWithAxes(k, []int{a}, []int{s[a]})
+		gd := bits.CeilLog2(uint64(s[a]))
+		if dims+gd <= target {
+			gp := &Plan{Kind: KindGray, Shape: singleShape, CubeDim: gd, Dilation: 1}
+			rec(remaining[1:], append(factors, gp), dims+gd)
+		}
+	}
+	rec(axes, nil, 0)
+	return best
+}

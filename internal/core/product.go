@@ -1,0 +1,208 @@
+// Package core implements the paper's contribution: embedding meshes in
+// Boolean cubes by graph decomposition.  The central operation is the
+// product-embedding construction of Theorem 3 with the axis-reflection
+// refinement of Corollary 2, on top of which the planner of Section 5
+// combines Gray codes, two-dimensional embeddings, the direct
+// three-dimensional embeddings and axis extension into minimal-expansion
+// dilation-two embeddings of three-dimensional meshes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// padShape returns the shape extended with trailing 1s to k axes.
+func padShape(s mesh.Shape, k int) mesh.Shape {
+	if len(s) >= k {
+		return s
+	}
+	out := make(mesh.Shape, k)
+	copy(out, s)
+	for i := len(s); i < k; i++ {
+		out[i] = 1
+	}
+	return out
+}
+
+// Product composes two mesh embeddings into an embedding of the
+// componentwise-product mesh (Corollary 2).  If e1 embeds an
+// ℓ₁₁×…×ℓ₁k mesh into an n₁-cube and e2 an ℓ₂₁×…×ℓ₂k mesh into an n₂-cube,
+// the result embeds the ℓ₁₁ℓ₂₁ × … × ℓ₁kℓ₂k mesh into the (n₁+n₂)-cube:
+//
+//	φ(z) = φ₂(y) ‖ φ̃₁(y, x),  zᵢ = yᵢ·ℓ₁ᵢ + xᵢ,
+//
+// where φ̃₁ reflects axis i of the inner mesh whenever yᵢ is odd, so the
+// seam between consecutive inner copies reuses the same inner codeword and
+// costs only the outer embedding's dilation.  The dilation of the result is
+// ≤ max(dil φ₁, dil φ₂) and the congestion ≤ max(cong φ₁, cong φ₂)
+// (Theorem 3); expansion multiplies.
+//
+// Shapes of different arity are aligned by padding with trailing 1s.
+// Wraparound embeddings are not composable here (see package wrap).
+func Product(e1, e2 *embed.Embedding) *embed.Embedding {
+	if e1.Wrap || e2.Wrap {
+		panic("core: Product requires non-wraparound factors")
+	}
+	k := e1.Guest.Dims()
+	if e2.Guest.Dims() > k {
+		k = e2.Guest.Dims()
+	}
+	s1 := padShape(e1.Guest, k)
+	s2 := padShape(e2.Guest, k)
+	gs := s1.Product(s2)
+
+	out := embed.New(gs, e1.N+e2.N)
+	zc := make([]int, k)
+	xc := make([]int, k)
+	yc := make([]int, k)
+	for z := range out.Map {
+		gs.CoordInto(z, zc)
+		for i := 0; i < k; i++ {
+			xc[i] = zc[i] % s1[i]
+			yc[i] = zc[i] / s1[i]
+			if yc[i]&1 == 1 { // reflect inner axis i (φ̃₁)
+				xc[i] = s1[i] - 1 - xc[i]
+			}
+		}
+		inner := e1.Map[s1.Index(xc)]
+		outer := e2.Map[s2.Index(yc)]
+		out.Map[z] = cube.Node(uint64(outer)<<uint(e1.N) | uint64(inner))
+	}
+
+	// Compose pinned paths when the factors carry them, so congestion
+	// guarantees transfer (Theorem 3's disjoint-copy argument).
+	if e1.Paths != nil || e2.Paths != nil {
+		out.Paths = make(map[embed.EdgeKey]cube.Path)
+		composePaths(out, e1, e2, s1, s2)
+	}
+	return out
+}
+
+// composePaths pins the host path of every product-guest edge whose factor
+// edge has a pinned path: inner edges lift φ₁'s path into the copy selected
+// by φ₂(y); seam edges lift φ₂'s path with the inner codeword fixed.
+func composePaths(out, e1, e2 *embed.Embedding, s1, s2 mesh.Shape) {
+	k := out.Guest.Dims()
+	zcU := make([]int, k)
+	zcV := make([]int, k)
+	xc := make([]int, k)
+	yc := make([]int, k)
+	xc2 := make([]int, k)
+	out.Guest.EachEdge(func(ed mesh.Edge) {
+		out.Guest.CoordInto(ed.U, zcU)
+		out.Guest.CoordInto(ed.V, zcV)
+		ax := ed.Axis
+		// Decompose the lower endpoint.
+		for i := 0; i < k; i++ {
+			xc[i] = zcU[i] % s1[i]
+			yc[i] = zcU[i] / s1[i]
+		}
+		vx := zcV[ax] % s1[ax]
+		vy := zcV[ax] / s1[ax]
+		if vy == yc[ax] {
+			// Inner (S1-type) edge: both endpoints in the same copy.
+			copy(xc2, xc)
+			xc2[ax] = vx
+			for i := 0; i < k; i++ {
+				if yc[i]&1 == 1 {
+					xc[i] = s1[i] - 1 - xc[i]
+					xc2[i] = s1[i] - 1 - xc2[i]
+				}
+			}
+			u1, v1 := s1.Index(xc), s1.Index(xc2)
+			p := factorPath(e1, u1, v1)
+			if p == nil {
+				return
+			}
+			prefix := uint64(e2.Map[s2.Index(yc)]) << uint(e1.N)
+			lift := make(cube.Path, len(p))
+			for i, node := range p {
+				lift[i] = cube.Node(prefix | uint64(node))
+			}
+			out.Paths[embed.Key(ed.U, ed.V)] = lift
+			// restore xc (unreflect) for next iteration is unnecessary:
+			// xc is recomputed per edge.
+		} else {
+			// Seam (S2-type) edge: y advances by one on axis ax; the inner
+			// codeword is shared (reflection makes the two sides agree).
+			for i := 0; i < k; i++ {
+				if yc[i]&1 == 1 {
+					xc[i] = s1[i] - 1 - xc[i]
+				}
+			}
+			innerBits := uint64(e1.Map[s1.Index(xc)])
+			u2 := s2.Index(yc)
+			yc[ax] = vy
+			v2 := s2.Index(yc)
+			p := factorPath(e2, u2, v2)
+			if p == nil {
+				return
+			}
+			lift := make(cube.Path, len(p))
+			for i, node := range p {
+				lift[i] = cube.Node(uint64(node)<<uint(e1.N) | innerBits)
+			}
+			out.Paths[embed.Key(ed.U, ed.V)] = lift
+		}
+	})
+}
+
+// factorPath returns the pinned path of a factor edge oriented from u to v,
+// or nil when the factor has no pinned path for it (the product edge then
+// falls back to e-cube routing, which also stays inside the copy).
+func factorPath(e *embed.Embedding, u, v int) cube.Path {
+	if e.Paths == nil {
+		return nil
+	}
+	p, ok := e.Paths[embed.Key(u, v)]
+	if !ok {
+		return nil
+	}
+	if len(p) > 0 && p[0] == e.Map[u] {
+		return p
+	}
+	// stored in the opposite orientation; reverse
+	r := make(cube.Path, len(p))
+	for i := range p {
+		r[i] = p[len(p)-1-i]
+	}
+	return r
+}
+
+// SubMesh restricts an embedding to a smaller mesh contained in its guest
+// (componentwise target ≤ guest, same arity after padding).  Edges of the
+// submesh are edges of the mesh, so dilation and congestion cannot increase;
+// the host cube is unchanged.
+func SubMesh(e *embed.Embedding, target mesh.Shape) *embed.Embedding {
+	if e.Wrap {
+		panic("core: SubMesh requires a non-wraparound embedding")
+	}
+	big := padShape(e.Guest, target.Dims())
+	tgt := padShape(target, e.Guest.Dims())
+	if !big.Contains(tgt) {
+		panic(fmt.Sprintf("core: %v is not contained in %v", target, e.Guest))
+	}
+	out := embed.New(tgt, e.N)
+	coord := make([]int, tgt.Dims())
+	for i := range out.Map {
+		tgt.CoordInto(i, coord)
+		out.Map[i] = e.Map[big.Index(coord)]
+	}
+	if e.Paths != nil {
+		out.Paths = make(map[embed.EdgeKey]cube.Path)
+		coordV := make([]int, tgt.Dims())
+		tgt.EachEdge(func(ed mesh.Edge) {
+			tgt.CoordInto(ed.U, coord)
+			tgt.CoordInto(ed.V, coordV)
+			k := embed.Key(big.Index(coord), big.Index(coordV))
+			if p, ok := e.Paths[k]; ok {
+				out.Paths[embed.Key(ed.U, ed.V)] = p
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package embed
+
+import (
+	"repro/internal/cube"
+	"repro/internal/gray"
+	"repro/internal/mesh"
+)
+
+// Gray returns the binary-reflected Gray-code embedding of the mesh
+// (Section 3.1): axis i is encoded in ⌈log₂ ℓi⌉ bits, axis 0 in the least
+// significant bits.  The dilation and congestion are one; the expansion is
+// Π⌈ℓi⌉₂ / Πℓi, which is minimal exactly when Shape.GrayMinimal holds
+// (Theorem 1 shows no dilation-one embedding can do better).
+func Gray(s mesh.Shape) *Embedding {
+	p := gray.NewProduct(s...)
+	e := New(s, p.Bits())
+	coord := make([]int, s.Dims())
+	for idx := range e.Map {
+		s.CoordInto(idx, coord)
+		e.Map[idx] = cube.Node(p.Code(coord))
+	}
+	return e
+}
+
+// GrayRing returns the dilation-one embedding of a wraparound axis of
+// power-of-two length: the cyclic Gray code.  For a multi-axis torus with
+// all power-of-two axes, Gray already yields dilation one including the
+// wraparound edges (set Wrap on the result); this helper exists for rings.
+func GrayRing(length int) *Embedding {
+	e := Gray(mesh.Shape{length})
+	e.Wrap = true
+	return e
+}
+
+// Identity returns the trivial embedding of a 1-node mesh into a 0-cube.
+func Identity() *Embedding {
+	return New(mesh.Shape{1}, 0)
+}

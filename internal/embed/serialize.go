@@ -1,0 +1,145 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/mesh"
+)
+
+// The text format for embeddings:
+//
+//	repro-embedding v1
+//	guest 5x6x7
+//	wrap false
+//	cube 8
+//	map
+//	2 3 0 1 …            (host addresses in dense guest-index order,
+//	                      any whitespace/line structure)
+//
+// Pinned paths are not serialized; metrics that depend on a specific path
+// realization (congestion) are recomputed with e-cube routing after a load.
+
+const formatHeader = "repro-embedding v1"
+
+// WriteTo serializes the embedding in the text format.  It returns the
+// number of bytes written.
+func (e *Embedding) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", formatHeader)
+	fmt.Fprintf(&b, "guest %s\n", e.Guest)
+	fmt.Fprintf(&b, "wrap %v\n", e.Wrap)
+	fmt.Fprintf(&b, "cube %d\n", e.N)
+	b.WriteString("map\n")
+	for i, h := range e.Map {
+		if i > 0 {
+			if i%16 == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(strconv.FormatUint(uint64(h), 10))
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Read parses an embedding from the text format and validates it with
+// VerifyManyToOne (one-to-one validity is the caller's decision, since the
+// format also stores many-to-one embeddings).
+func Read(r io.Reader) (*Embedding, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := func() (string, error) {
+		for sc.Scan() {
+			t := strings.TrimSpace(sc.Text())
+			if t != "" {
+				return t, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	h, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if h != formatHeader {
+		return nil, fmt.Errorf("embed: bad header %q", h)
+	}
+	var guest mesh.Shape
+	var wrap bool
+	var n = -1
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(l)
+		switch fields[0] {
+		case "guest":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("embed: bad guest line %q", l)
+			}
+			guest, err = mesh.ParseShape(fields[1])
+			if err != nil {
+				return nil, err
+			}
+		case "wrap":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("embed: bad wrap line %q", l)
+			}
+			wrap, err = strconv.ParseBool(fields[1])
+			if err != nil {
+				return nil, err
+			}
+		case "cube":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("embed: bad cube line %q", l)
+			}
+			n, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+		case "map":
+			if guest == nil || n < 0 {
+				return nil, fmt.Errorf("embed: map before guest/cube")
+			}
+			e := New(guest, n)
+			e.Wrap = wrap
+			count := 0
+			for count < len(e.Map) {
+				l, err := line()
+				if err != nil {
+					return nil, fmt.Errorf("embed: map truncated at %d of %d entries", count, len(e.Map))
+				}
+				for _, f := range strings.Fields(l) {
+					if count >= len(e.Map) {
+						return nil, fmt.Errorf("embed: map has extra entries")
+					}
+					v, err := strconv.ParseUint(f, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("embed: bad map entry %q", f)
+					}
+					e.Map[count] = cube.Node(v)
+					count++
+				}
+			}
+			if err := e.VerifyManyToOne(); err != nil {
+				return nil, err
+			}
+			return e, nil
+		default:
+			return nil, fmt.Errorf("embed: unknown field %q", fields[0])
+		}
+	}
+}

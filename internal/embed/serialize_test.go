@@ -1,0 +1,95 @@
+package embed
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, s := range []mesh.Shape{{3, 5}, {5, 6, 7}, {1}, {17}} {
+		e := Gray(s)
+		e.Wrap = s.Dims() == 1
+		var b strings.Builder
+		if _, err := e.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !got.Guest.Equal(e.Guest) || got.N != e.N || got.Wrap != e.Wrap {
+			t.Fatalf("%v: header mismatch", s)
+		}
+		for i := range e.Map {
+			if got.Map[i] != e.Map[i] {
+				t.Fatalf("%v: map[%d] = %d, want %d", s, i, got.Map[i], e.Map[i])
+			}
+		}
+	}
+}
+
+func TestSerializeRoundTripRandom(t *testing.T) {
+	f := func(a, b uint8, wrap bool) bool {
+		s := mesh.Shape{int(a%7) + 1, int(b%7) + 1}
+		e := Gray(s)
+		e.Wrap = wrap
+		var sb strings.Builder
+		if _, err := e.WriteTo(&sb); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return got.Guest.Equal(e.Guest) && got.Wrap == wrap && got.Measure() == e.Measure()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-an-embedding",
+		"repro-embedding v1\nguest 3x5\nwrap false\ncube 4\nmap\n1 2 3",                       // truncated
+		"repro-embedding v1\nguest 3x5\nwrap false\ncube 4\nmap\n" + strings.Repeat("1 ", 20), // injectivity aside, extra entries
+		"repro-embedding v1\nguest 3x0\nwrap false\ncube 4\nmap\n",
+		"repro-embedding v1\nwrap maybe\n",
+		"repro-embedding v1\nmystery field\n",
+		"repro-embedding v1\nmap\n",                                   // map before guest
+		"repro-embedding v1\nguest 2\nwrap false\ncube 1\nmap\n5 0\n", // out of cube
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted garbage %q", c)
+		}
+	}
+}
+
+func TestReadAcceptsManyToOne(t *testing.T) {
+	in := "repro-embedding v1\nguest 2x2\nwrap false\ncube 1\nmap\n0 0 1 1\n"
+	e, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LoadFactor() != 2 {
+		t.Errorf("load = %d", e.LoadFactor())
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	e := Gray(mesh.Shape{16, 16, 16})
+	var sb strings.Builder
+	e.WriteTo(&sb)
+	data := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

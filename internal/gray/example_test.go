@@ -1,0 +1,17 @@
+package gray_test
+
+import (
+	"fmt"
+
+	"repro/internal/gray"
+)
+
+// Consecutive integers map to Boolean-cube neighbors.
+func ExampleEncode() {
+	for x := uint64(0); x < 8; x++ {
+		fmt.Printf("%03b ", gray.Encode(x))
+	}
+	fmt.Println()
+	// Output:
+	// 000 001 011 010 110 111 101 100
+}

@@ -1,0 +1,144 @@
+// Package gray implements the binary-reflected Gray code and the reflected
+// variants used by the graph-decomposition embedding of Ho and Johnsson.
+//
+// The binary-reflected Gray code G maps the integers 0..2^n-1 onto the nodes
+// of an n-cube such that consecutive integers map to cube neighbors
+// (Hamming distance one), and G(0) and G(2^n-1) are also neighbors, so the
+// code is cyclic.  Encoding the index along each mesh axis in a Gray code
+// yields a dilation-one embedding of any mesh with power-of-two axis lengths
+// (Johnsson 1987, [15] in the paper).
+package gray
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Encode returns the binary-reflected Gray code of x: G(x) = x XOR (x >> 1).
+func Encode(x uint64) uint64 {
+	return x ^ (x >> 1)
+}
+
+// Decode returns the rank of a Gray codeword, the inverse of Encode.
+func Decode(g uint64) uint64 {
+	x := g
+	for s := uint(1); s < 64; s <<= 1 {
+		x ^= x >> s
+	}
+	return x
+}
+
+// Reflected returns G̃(y, x) from Corollary 2 of the paper: the Gray code of
+// x over n bits when y is even, and the Gray code of 2^n-1-x (the reflected
+// traversal) when y is odd.  Traversing x = 0..2^n-1 with consecutive y
+// values walks the axis forth and back, which keeps the seam between
+// consecutive copies of the factor mesh at Hamming distance zero in the
+// low-order bits.
+func Reflected(y, x uint64, n int) uint64 {
+	if y&1 == 0 {
+		return Encode(x)
+	}
+	return Encode((uint64(1)<<uint(n) - 1) - x)
+}
+
+// Sequence returns the full n-bit Gray code sequence G(0), …, G(2^n-1).
+// It panics if n < 0 or n > 30 (the sequence would not fit in memory).
+func Sequence(n int) []uint64 {
+	if n < 0 || n > 30 {
+		panic(fmt.Sprintf("gray: Sequence dimension %d out of range", n))
+	}
+	seq := make([]uint64, 1<<uint(n))
+	for i := range seq {
+		seq[i] = Encode(uint64(i))
+	}
+	return seq
+}
+
+// Axis is a Gray code for one mesh axis: it encodes indices 0..Len-1 into
+// Bits-bit codewords.  Len may be smaller than 2^Bits (the axis is padded to
+// the next power of two); consecutive indices still map to cube neighbors.
+type Axis struct {
+	Len  int // number of valid indices (axis length)
+	Bits int // codeword width, ⌈log₂ Len⌉
+}
+
+// NewAxis returns the Gray code axis for length ℓ ≥ 1, using ⌈log₂ ℓ⌉ bits.
+func NewAxis(length int) Axis {
+	if length < 1 {
+		panic("gray: axis length must be ≥ 1")
+	}
+	return Axis{Len: length, Bits: bits.CeilLog2(uint64(length))}
+}
+
+// Code returns the codeword for index x (0 ≤ x < a.Len).
+func (a Axis) Code(x int) uint64 {
+	if x < 0 || x >= a.Len {
+		panic(fmt.Sprintf("gray: axis index %d out of range [0,%d)", x, a.Len))
+	}
+	return Encode(uint64(x))
+}
+
+// ReflectedCode returns the codeword for index x when the enclosing product
+// construction is at position y along the same axis of the outer mesh
+// (Corollary 2's G̃).
+func (a Axis) ReflectedCode(y, x int) uint64 {
+	if x < 0 || x >= a.Len {
+		panic(fmt.Sprintf("gray: axis index %d out of range [0,%d)", x, a.Len))
+	}
+	return Reflected(uint64(y), uint64(x), a.Bits)
+}
+
+// Product is a multi-axis Gray code: the codewords of the axes are
+// concatenated, axis 0 occupying the least significant bits.  It is the
+// embedding function φ₁ of Corollary 2 when every factor-axis length is a
+// power of two, and the standard Gray-code mesh embedding otherwise
+// (each axis padded to 2^Bits).
+type Product struct {
+	Axes []Axis
+	n    int // total bits
+}
+
+// NewProduct builds a multi-axis Gray code for the given axis lengths.
+func NewProduct(lengths ...int) *Product {
+	p := &Product{Axes: make([]Axis, len(lengths))}
+	for i, l := range lengths {
+		p.Axes[i] = NewAxis(l)
+		p.n += p.Axes[i].Bits
+	}
+	return p
+}
+
+// Bits returns the total codeword width, Σ ⌈log₂ ℓi⌉.
+func (p *Product) Bits() int { return p.n }
+
+// Code returns the concatenated codeword for the coordinate vector x.
+// len(x) must equal the number of axes.
+func (p *Product) Code(x []int) uint64 {
+	if len(x) != len(p.Axes) {
+		panic("gray: coordinate arity mismatch")
+	}
+	var out uint64
+	shift := 0
+	for i, a := range p.Axes {
+		out |= a.Code(x[i]) << uint(shift)
+		shift += a.Bits
+	}
+	return out
+}
+
+// ReflectedProductCode returns the concatenated codeword
+// G̃(y₁,x₁) ‖ G̃(y₂,x₂) ‖ … of Corollary 2, with axis 0 in the least
+// significant bits. y and x must have the same arity as the product.
+func (p *Product) ReflectedProductCode(y, x []int) uint64 {
+	if len(x) != len(p.Axes) || len(y) != len(p.Axes) {
+		panic("gray: coordinate arity mismatch")
+	}
+	var out uint64
+	shift := 0
+	for i, a := range p.Axes {
+		out |= a.ReflectedCode(y[i], x[i]) << uint(shift)
+		shift += a.Bits
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package gray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func TestEncodeSmall(t *testing.T) {
+	want := []uint64{0, 1, 3, 2, 6, 7, 5, 4, 12, 13, 15, 14, 10, 11, 9, 8}
+	for i, w := range want {
+		if got := Encode(uint64(i)); got != w {
+			t.Errorf("Encode(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestDecodeInvertsEncode(t *testing.T) {
+	f := func(x uint64) bool { return Decode(Encode(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(x uint64) bool { return Encode(Decode(x)) == x }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAdjacency(t *testing.T) {
+	// Consecutive ranks are cube neighbors.
+	f := func(x uint64) bool {
+		if x == ^uint64(0) {
+			x--
+		}
+		return bits.Hamming(Encode(x), Encode(x+1)) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeCyclic(t *testing.T) {
+	// The code is cyclic on every power-of-two domain.
+	for n := 1; n <= 20; n++ {
+		last := uint64(1)<<uint(n) - 1
+		if d := bits.Hamming(Encode(0), Encode(last)); d != 1 {
+			t.Errorf("n=%d: Hamming(G(0),G(2^n-1)) = %d, want 1", n, d)
+		}
+	}
+}
+
+func TestEncodeBijectiveOnPrefix(t *testing.T) {
+	// Encode is a bijection on [0, 2^n): x < 2^n implies Encode(x) < 2^n.
+	for n := 0; n <= 12; n++ {
+		seen := make(map[uint64]bool)
+		lim := uint64(1) << uint(n)
+		for x := uint64(0); x < lim; x++ {
+			g := Encode(x)
+			if g >= lim {
+				t.Fatalf("Encode(%d) = %d escapes [0,%d)", x, g, lim)
+			}
+			if seen[g] {
+				t.Fatalf("Encode not injective at %d", x)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestSequence(t *testing.T) {
+	seq := Sequence(3)
+	want := []uint64{0, 1, 3, 2, 6, 7, 5, 4}
+	if len(seq) != len(want) {
+		t.Fatalf("Sequence(3) length %d, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("Sequence(3)[%d] = %d, want %d", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestReflected(t *testing.T) {
+	n := 3
+	// Even y: plain Gray code; odd y: reversed traversal.
+	for x := uint64(0); x < 8; x++ {
+		if got := Reflected(0, x, n); got != Encode(x) {
+			t.Errorf("Reflected(0,%d) = %d, want %d", x, got, Encode(x))
+		}
+		if got := Reflected(1, x, n); got != Encode(7-x) {
+			t.Errorf("Reflected(1,%d) = %d, want %d", x, got, Encode(7-x))
+		}
+	}
+}
+
+func TestReflectedSeam(t *testing.T) {
+	// The key property exploited by Corollary 2: along a guest axis of
+	// length ℓ₂·2^n with coordinate z = y·2^n + x, the last cell of copy y
+	// (x = 2^n-1) and the first cell of copy y+1 (x = 0) receive the SAME
+	// inner codeword, so the seam edge's cost comes only from the outer
+	// embedding of y.
+	for n := 1; n <= 10; n++ {
+		last := uint64(1)<<uint(n) - 1
+		for y := uint64(0); y < 8; y++ {
+			a := Reflected(y, last, n)
+			b := Reflected(y+1, 0, n)
+			if a != b {
+				t.Errorf("n=%d y=%d: seam codewords %d != %d", n, y, a, b)
+			}
+		}
+	}
+}
+
+func TestAxisAdjacency(t *testing.T) {
+	for _, l := range []int{1, 2, 3, 5, 7, 12, 17, 100} {
+		a := NewAxis(l)
+		if a.Bits != bits.CeilLog2(uint64(l)) {
+			t.Errorf("axis %d: Bits = %d", l, a.Bits)
+		}
+		for x := 0; x+1 < l; x++ {
+			if d := bits.Hamming(a.Code(x), a.Code(x+1)); d != 1 {
+				t.Errorf("axis %d: dilation at %d is %d", l, x, d)
+			}
+		}
+	}
+}
+
+func TestProductCode(t *testing.T) {
+	p := NewProduct(4, 8) // 2 + 3 bits
+	if p.Bits() != 5 {
+		t.Fatalf("Bits = %d, want 5", p.Bits())
+	}
+	// Moving one step along either axis flips exactly one bit.
+	for x0 := 0; x0 < 4; x0++ {
+		for x1 := 0; x1 < 8; x1++ {
+			c := p.Code([]int{x0, x1})
+			if x0+1 < 4 {
+				c2 := p.Code([]int{x0 + 1, x1})
+				if bits.Hamming(c, c2) != 1 {
+					t.Errorf("axis0 step at (%d,%d): dist %d", x0, x1, bits.Hamming(c, c2))
+				}
+			}
+			if x1+1 < 8 {
+				c2 := p.Code([]int{x0, x1 + 1})
+				if bits.Hamming(c, c2) != 1 {
+					t.Errorf("axis1 step at (%d,%d): dist %d", x0, x1, bits.Hamming(c, c2))
+				}
+			}
+		}
+	}
+}
+
+func TestProductCodeInjective(t *testing.T) {
+	p := NewProduct(3, 5, 7)
+	seen := make(map[uint64][3]int)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 5; b++ {
+			for c := 0; c < 7; c++ {
+				code := p.Code([]int{a, b, c})
+				if prev, dup := seen[code]; dup {
+					t.Fatalf("collision: %v and %v -> %d", prev, [3]int{a, b, c}, code)
+				}
+				seen[code] = [3]int{a, b, c}
+			}
+		}
+	}
+}
+
+func TestReflectedProductCode(t *testing.T) {
+	p := NewProduct(4, 4)
+	y := []int{1, 0} // axis 0 of the outer mesh is at an odd position
+	got := p.ReflectedProductCode(y, []int{0, 2})
+	want := Encode(3) | Encode(2)<<2 // axis0 reflected: index 0 -> 2^2-1-0 = 3
+	if got != want {
+		t.Errorf("ReflectedProductCode = %b, want %b", got, want)
+	}
+}
+
+func TestAxisPanics(t *testing.T) {
+	a := NewAxis(5)
+	for _, bad := range []int{-1, 5, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Code(%d) did not panic", bad)
+				}
+			}()
+			a.Code(bad)
+		}()
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Decode(uint64(i))
+	}
+}
+
+func BenchmarkProductCode(b *testing.B) {
+	p := NewProduct(512, 512, 512)
+	x := []int{123, 456, 78}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x[0] = i & 511
+		_ = p.Code(x)
+	}
+}

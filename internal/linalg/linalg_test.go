@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+	"repro/internal/wrap"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()*2 - 1
+	}
+	return m
+}
+
+func TestSerialMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestCannonCorrectOnGrayTorus(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	e := embed.Gray(mesh.Shape{4, 4})
+	e.Wrap = true
+	a := randomMatrix(r, 8, 8)
+	b := randomMatrix(r, 8, 8)
+	got, stats := Cannon(a, b, e)
+	want := a.Mul(b)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("Cannon result off by %v", d)
+	}
+	if stats.MaxHops > 1 {
+		t.Errorf("Gray 4x4 torus shifts should be single hops, got %d", stats.MaxHops)
+	}
+	// 2(p−1) skew rounds + 2(p−1) loop shifts
+	if stats.ShiftRounds != 4*(stats.P-1) {
+		t.Errorf("rounds = %d, want %d", stats.ShiftRounds, 4*(stats.P-1))
+	}
+}
+
+func TestCannonCorrectOnDecompositionTorus(t *testing.T) {
+	// 6x6 torus: halving over 3x3 — a non-power-of-two process grid on
+	// the minimal 6-cube, the setting the paper enables.
+	r := rand.New(rand.NewSource(2))
+	e := wrap.Embed(mesh.Shape{6, 6}, core.DefaultOptions)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	a := randomMatrix(r, 12, 12)
+	b := randomMatrix(r, 12, 12)
+	got, stats := Cannon(a, b, e)
+	want := a.Mul(b)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("Cannon result off by %v", d)
+	}
+	if stats.MaxHops > e.Dilation() {
+		t.Errorf("shift hops %d exceed torus dilation %d", stats.MaxHops, e.Dilation())
+	}
+	t.Logf("6x6 torus Cannon: %+v (torus dilation %d)", stats, e.Dilation())
+}
+
+func TestCannonPanicsOnNonTorus(t *testing.T) {
+	e := embed.Gray(mesh.Shape{4, 4}) // not marked wraparound
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Cannon(NewMatrix(8, 8), NewMatrix(8, 8), e)
+}
+
+func TestMatVecCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, shape := range []mesh.Shape{{4, 4}, {3, 5}, {2, 2}} {
+		e := core.PlanShape(shape, core.DefaultOptions).Build()
+		n := shape[0] * 3
+		m := shape[1] * 2
+		a := randomMatrix(r, n, m)
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		got, stats := MatVec(a, x, e)
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for j := 0; j < m; j++ {
+				want += a.At(i, j) * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-9 {
+				t.Fatalf("%v: y[%d] = %v, want %v", shape, i, got[i], want)
+			}
+		}
+		if stats.Sweeps != shape[1]-1 {
+			t.Errorf("%v: sweeps = %d, want %d", shape, stats.Sweeps, shape[1]-1)
+		}
+	}
+}
+
+func TestMatVecPanicsOnMismatch(t *testing.T) {
+	e := embed.Gray(mesh.Shape{4, 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatVec(NewMatrix(7, 8), make([]float64, 8), e) // 7 not divisible by 4
+}
+
+func BenchmarkCannon6x6(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	e := wrap.Embed(mesh.Shape{6, 6}, core.Options{})
+	a := randomMatrix(r, 12, 12)
+	m := randomMatrix(r, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Cannon(a, m, e)
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	e := embed.Gray(mesh.Shape{4, 4})
+	a := randomMatrix(r, 32, 32)
+	x := make([]float64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = MatVec(a, x, e)
+	}
+}

@@ -1,0 +1,171 @@
+// Package manyone implements the many-to-one embeddings of Section 7,
+// where several guest nodes may share a host node and quality is measured
+// by the load factor (Definition 5) instead of expansion.
+//
+// The central construction is Lemma 5's axis contraction: an
+// ℓ1ℓ1'×…×ℓkℓk' mesh collapses onto an embedding of the ℓ1×…×ℓk mesh by
+// grouping ℓi' consecutive indices per axis.  In product terms this is
+// Theorem 4 with the ℓ1'×…×ℓk' factor mapped entirely to a 0-cube, so the
+// dilation is unchanged and the congestion of the i-th axis grows by
+// exactly the number of collapsed lines, Πⱼ≠ᵢ ℓj' — which yields
+// Corollary 4's congestion (Πℓᵢ)/minᵢℓᵢ for contracted Gray embeddings.
+package manyone
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// AllToOne returns the embedding of the mesh into the 0-cube: every guest
+// node maps to the single host node (load factor |V|, dilation 0).
+func AllToOne(s mesh.Shape) *embed.Embedding {
+	return embed.New(s.Clone(), 0)
+}
+
+// Contract embeds the componentwise product mesh shape∘factors into the
+// host of e by collapsing factors[i] consecutive indices along axis i onto
+// each node of e (Lemma 5).  Load factor multiplies by Πfactors, dilation
+// is unchanged, and the congestion of axis-i host links multiplies by at
+// most Πⱼ≠ᵢ factors[j].
+func Contract(e *embed.Embedding, factors mesh.Shape) *embed.Embedding {
+	if e.Wrap {
+		panic("manyone: Contract requires a non-wraparound embedding")
+	}
+	inner := AllToOne(factors)
+	return core.Product(inner, e)
+}
+
+// GrayContracted implements Corollary 4: the ℓ1·2^n1 × … × ℓk·2^nk mesh is
+// embedded into the (Σnᵢ)-cube with dilation one, optimal load factor
+// Πℓᵢ, and congestion (Πℓᵢ)/minᵢℓᵢ.
+func GrayContracted(loads mesh.Shape, pows []int) *embed.Embedding {
+	if len(loads) != len(pows) {
+		panic("manyone: loads and pows must have equal arity")
+	}
+	powShape := make(mesh.Shape, len(pows))
+	for i, n := range pows {
+		if n < 0 {
+			panic("manyone: negative cube exponent")
+		}
+		powShape[i] = 1 << uint(n)
+	}
+	return Contract(embed.Gray(powShape), loads)
+}
+
+// FoldCube reduces the host cube of an embedding from e.N to n dimensions
+// by dropping the high-order address bits (the cube "folding" of
+// Corollary 5's proof).  Dilation cannot increase — adjacent hosts either
+// stay adjacent or coincide — and the load factor multiplies by at most
+// 2^(e.N−n).
+func FoldCube(e *embed.Embedding, n int) *embed.Embedding {
+	if n < 0 || n > e.N {
+		panic(fmt.Sprintf("manyone: cannot fold %d-cube to %d", e.N, n))
+	}
+	out := embed.New(e.Guest, n)
+	out.Wrap = e.Wrap
+	mask := cube.Node(1)<<uint(n) - 1
+	for i, h := range e.Map {
+		out.Map[i] = h & mask
+	}
+	return out
+}
+
+// Corollary5Plan records the cover found by Corollary5: axis i of the
+// guest is covered by Loads[i]·2^Pows[i] ≥ ℓᵢ.
+type Corollary5Plan struct {
+	Loads mesh.Shape
+	Pows  []int
+	N     int // target cube dimension after folding
+}
+
+// LoadFactor returns the plan's load factor: ΠLoads · 2^(ΣPows − N).
+func (p Corollary5Plan) LoadFactor() int {
+	f := 1
+	for _, l := range p.Loads {
+		f *= l
+	}
+	total := 0
+	for _, n := range p.Pows {
+		total += n
+	}
+	return f << uint(total-p.N)
+}
+
+// Corollary5 embeds the mesh into an n-cube with dilation one and load
+// factor optimal within a factor of two, when axis covers ℓᵢ'·2^nᵢ ≥ ℓᵢ
+// exist with ⌈Πℓᵢ⌉₂ == ⌈Πℓᵢ'2^nᵢ⌉₂ and Σnᵢ ≥ n.  It returns the embedding
+// and the plan, or ok == false when no cover satisfies the conditions.
+// Among valid covers the one with the smallest load factor is chosen.
+func Corollary5(s mesh.Shape, n int) (*embed.Embedding, Corollary5Plan, bool) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	target := bits.CeilPow2(uint64(s.Nodes()))
+	k := s.Dims()
+	// Per axis, enumerate nᵢ = 0..⌈log₂ℓᵢ⌉ with the minimal cover
+	// ℓᵢ' = ⌈ℓᵢ/2^nᵢ⌉ (a larger ℓᵢ' never helps).
+	type axisChoice struct {
+		load, pow int
+		prod      uint64 // load·2^pow
+	}
+	choices := make([][]axisChoice, k)
+	for i, l := range s {
+		maxPow := bits.CeilLog2(uint64(l))
+		for p := 0; p <= maxPow; p++ {
+			load := (l + (1 << uint(p)) - 1) >> uint(p)
+			choices[i] = append(choices[i], axisChoice{load: load, pow: p,
+				prod: uint64(load) << uint(p)})
+		}
+	}
+	best := Corollary5Plan{N: n}
+	bestLoad := -1
+	cur := make([]axisChoice, k)
+	var rec func(i int, prod uint64, sumPow int)
+	rec = func(i int, prod uint64, sumPow int) {
+		if prod > target {
+			return // ⌈Πcover⌉₂ would exceed ⌈Πℓ⌉₂
+		}
+		if i == k {
+			if bits.CeilPow2(prod) != target || sumPow < n {
+				return
+			}
+			loads := make(mesh.Shape, k)
+			pows := make([]int, k)
+			f := 1
+			for j, c := range cur {
+				loads[j], pows[j] = c.load, c.pow
+				f *= c.load
+			}
+			f <<= uint(sumPow - n)
+			if bestLoad == -1 || f < bestLoad {
+				best.Loads, best.Pows = loads, pows
+				bestLoad = f
+			}
+			return
+		}
+		for _, c := range choices[i] {
+			cur[i] = c
+			rec(i+1, prod*c.prod, sumPow+c.pow)
+		}
+	}
+	rec(0, 1, 0)
+	if bestLoad == -1 {
+		return nil, Corollary5Plan{}, false
+	}
+	big := GrayContracted(best.Loads, best.Pows)
+	sub := core.SubMesh(big, s)
+	folded := FoldCube(sub, n)
+	return folded, best, true
+}
+
+// OptimalLoad returns ⌈Πℓᵢ / 2^n⌉, the information-theoretic lower bound on
+// the load factor of any embedding into an n-cube.
+func OptimalLoad(s mesh.Shape, n int) int {
+	hn := 1 << uint(n)
+	return (s.Nodes() + hn - 1) / hn
+}

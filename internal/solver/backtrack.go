@@ -1,0 +1,181 @@
+package solver
+
+import (
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/cube"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// FindBacktracking searches for a dilation-≤ maxDil minimal-expansion
+// embedding by placing guest nodes in BFS order, each restricted to unused
+// host nodes within maxDil of every already-placed guest neighbor.
+// Candidate order is randomized per restart (deterministic for a seed), and
+// each restart abandons after a bounded number of backtracks.  It
+// complements the annealing search: backtracking excels on small instances
+// with tight structure, annealing on larger ones.
+func FindBacktracking(s mesh.Shape, opts Options) *embed.Embedding {
+	opts = opts.withDefaults()
+	if s.GrayMinimal() {
+		return embed.Gray(s)
+	}
+	n := s.MinCubeDim()
+	hostN := 1 << uint(n)
+	el := buildEdges(s)
+	order := bfsOrder(s, el)
+
+	for restart := 0; restart < opts.Restarts; restart++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(restart)*104729))
+		assign := make([]cube.Node, s.Nodes())
+		used := make([]bool, hostN)
+		budget := 200_000 // backtrack steps per restart
+
+		var place func(i int) bool
+		place = func(i int) bool {
+			if i == len(order) {
+				return true
+			}
+			if budget <= 0 {
+				return false
+			}
+			g := order[i]
+			cands := candidates(g, assign, used, el, order[:i], n, opts.MaxDilation, rng)
+			for _, c := range cands {
+				budget--
+				assign[g] = c
+				used[c] = true
+				if place(i + 1) {
+					return true
+				}
+				used[c] = false
+				if budget <= 0 {
+					return false
+				}
+			}
+			return false
+		}
+		// Seed the first node randomly; by vertex transitivity node 0 of
+		// the cube suffices, but varying it diversifies restarts.
+		first := order[0]
+		start := cube.Node(rng.Intn(hostN))
+		assign[first] = start
+		used[start] = true
+		if place(1) {
+			e := embed.New(s, n)
+			copy(e.Map, assign)
+			return e
+		}
+		used[start] = false
+	}
+	return nil
+}
+
+// bfsOrder returns guest nodes in breadth-first order from node 0, so every
+// node after the first has at least one earlier neighbor.
+func bfsOrder(s mesh.Shape, el *edgeList) []int {
+	n := s.Nodes()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range el.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return order
+}
+
+// candidates lists the unused host nodes within maxDil of every placed
+// neighbor of g, in randomized order biased toward smaller total distance.
+func candidates(g int, assign []cube.Node, used []bool, el *edgeList,
+	placed []int, n, maxDil int, rng *rand.Rand) []cube.Node {
+	// Find one placed neighbor to enumerate a ball around; all others
+	// filter.
+	isPlaced := func(v int32) (cube.Node, bool) {
+		for _, p := range placed {
+			if int32(p) == v {
+				return assign[v], true
+			}
+		}
+		return 0, false
+	}
+	var anchor cube.Node
+	var anchors []cube.Node
+	found := false
+	for _, w := range el.adj[g] {
+		if h, ok := isPlaced(w); ok {
+			if !found {
+				anchor, found = h, true
+			}
+			anchors = append(anchors, h)
+		}
+	}
+	if !found {
+		// Disconnected-from-placed guest node (cannot happen with BFS
+		// order on a connected mesh, but keep it total): any unused host.
+		var out []cube.Node
+		for v := 0; v < 1<<uint(n); v++ {
+			if !used[v] {
+				out = append(out, cube.Node(v))
+			}
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	ball := ballAround(anchor, n, maxDil)
+	out := make([]cube.Node, 0, len(ball))
+	score := make(map[cube.Node]int, len(ball))
+	for _, c := range ball {
+		if used[c] {
+			continue
+		}
+		ok := true
+		total := 0
+		for _, a := range anchors {
+			d := bits.Hamming(uint64(c), uint64(a))
+			if d > maxDil {
+				ok = false
+				break
+			}
+			total += d
+		}
+		if ok {
+			out = append(out, c)
+			score[c] = total
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	// Stable-ish greedy: prefer candidates closer to all anchors.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && score[out[j]] < score[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ballAround enumerates the cube nodes within distance r of center.
+func ballAround(center cube.Node, n, r int) []cube.Node {
+	var out []cube.Node
+	var rec func(start int, cur uint64, depth int)
+	rec = func(start int, cur uint64, depth int) {
+		out = append(out, cube.Node(cur))
+		if depth == r {
+			return
+		}
+		for d := start; d < n; d++ {
+			rec(d+1, bits.FlipBit(cur, d), depth+1)
+		}
+	}
+	rec(0, uint64(center), 0)
+	return out
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bits"
+)
+
+// GrayMinimalFraction returns the closed form of Theorem 2: the asymptotic
+// fraction f_k(1/2) of k-dimensional meshes for which the binary-reflected
+// Gray-code embedding yields minimum expansion,
+//
+//	f_k(1/2) = 2^k · (1 − ½ Σ_{i=0}^{k−1} lnⁱ2 / i!).
+//
+// f_2 ≈ 0.61 and f_3 ≈ 0.27 (quoted in §3.1).
+func GrayMinimalFraction(k int) float64 {
+	if k < 1 {
+		panic("stats: dimension must be ≥ 1")
+	}
+	sum := 0.0
+	term := 1.0 // lnⁱ2 / i!, starting at i = 0
+	for i := 0; i < k; i++ {
+		sum += term
+		term *= math.Ln2 / float64(i+1)
+	}
+	return math.Pow(2, float64(k)) * (1 - sum/2)
+}
+
+// MonteCarloGrayFraction estimates f_k(1/2) by sampling: each aᵢ is uniform
+// on (1/2, 1] and the event is Π aᵢ > 1/2 (the probability formulation of
+// §3.1).  Deterministic for a given seed.
+func MonteCarloGrayFraction(k int, samples int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for s := 0; s < samples; s++ {
+		prod := 1.0
+		for i := 0; i < k; i++ {
+			prod *= 0.5 + rng.Float64()/2
+			if prod <= 0.5 {
+				break
+			}
+		}
+		if prod > 0.5 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// ExactGrayFraction counts, over the finite domain 1 ≤ ℓᵢ ≤ 2^n, the
+// fraction of k-dimensional meshes with Π⌈ℓᵢ⌉₂ == ⌈Πℓᵢ⌉₂.  The finite
+// fraction exceeds the asymptotic one because short axes (notably ℓ = 1 and
+// exact powers of two) are over-represented.  Supported for k ≤ 4 with
+// k·n ≤ 30.
+func ExactGrayFraction(k, n int) float64 {
+	if k < 1 || k > 4 || k*n > 30 {
+		panic("stats: ExactGrayFraction domain too large")
+	}
+	limit := 1 << uint(n)
+	lens := make([]int, k)
+	var hits, total uint64
+	var rec func(i int, prodCeil uint64, prod uint64)
+	rec = func(i int, prodCeil, prod uint64) {
+		if i == k {
+			total++
+			if prodCeil == bits.CeilPow2(prod) {
+				hits++
+			}
+			return
+		}
+		for l := 1; l <= limit; l++ {
+			lens[i] = l
+			rec(i+1, prodCeil*bits.CeilPow2(uint64(l)), prod*uint64(l))
+		}
+	}
+	rec(0, 1, 1)
+	return float64(hits) / float64(total)
+}
+
+// Figure1Row is one point of Figure 1.
+type Figure1Row struct {
+	K          int
+	Asymptotic float64 // Theorem 2 closed form
+	MonteCarlo float64 // sampling estimate
+}
+
+// Figure1 evaluates f_k(1/2) for k = 1..maxK with a Monte-Carlo cross-check.
+func Figure1(maxK, samples int, seed int64) []Figure1Row {
+	rows := make([]Figure1Row, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		rows = append(rows, Figure1Row{
+			K:          k,
+			Asymptotic: GrayMinimalFraction(k),
+			MonteCarlo: MonteCarloGrayFraction(k, samples, seed+int64(k)),
+		})
+	}
+	return rows
+}
+
+// FormatFigure1 renders the rows as the text table printed by cmd/figures.
+func FormatFigure1(rows []Figure1Row) string {
+	out := "  k   f_k(1/2)   Monte-Carlo\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%3d   %.6f   %.6f\n", r.K, r.Asymptotic, r.MonteCarlo)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrayMinimalFractionClosedForm(t *testing.T) {
+	// §3.1: f2(1/2) = 2(1−ln2) ≈ 0.61, f3(1/2) = 4(1−ln2−ln²2/2) ≈ 0.27.
+	if got, want := GrayMinimalFraction(2), 2*(1-math.Ln2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f2 = %v, want %v", got, want)
+	}
+	if got, want := GrayMinimalFraction(3), 4*(1-math.Ln2-math.Ln2*math.Ln2/2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f3 = %v, want %v", got, want)
+	}
+	if got := GrayMinimalFraction(2); math.Abs(got-0.61) > 0.01 {
+		t.Errorf("f2 = %v, expected ≈0.61", got)
+	}
+	if got := GrayMinimalFraction(3); math.Abs(got-0.27) > 0.01 {
+		t.Errorf("f3 = %v, expected ≈0.27", got)
+	}
+	// k=1: every 1-D mesh is Gray-minimal.
+	if got := GrayMinimalFraction(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("f1 = %v, want 1", got)
+	}
+}
+
+func TestGrayMinimalFractionDecreasing(t *testing.T) {
+	prev := 2.0
+	for k := 1; k <= 12; k++ {
+		f := GrayMinimalFraction(k)
+		if f <= 0 || f > 1+1e-12 {
+			t.Fatalf("f%d = %v out of (0,1]", k, f)
+		}
+		if f > prev {
+			t.Fatalf("f%d = %v not decreasing", k, f)
+		}
+		prev = f
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		want := GrayMinimalFraction(k)
+		got := MonteCarloGrayFraction(k, 400_000, 12345)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("k=%d: Monte-Carlo %v vs closed form %v", k, got, want)
+		}
+	}
+}
+
+func TestExactGrayFractionMatchesFigure2S1(t *testing.T) {
+	// The exact 3-D count over 1..2^n must equal Figure 2's S1 column.
+	rows := Figure2(4)
+	for n := 1; n <= 4; n++ {
+		exact := 100 * ExactGrayFraction(3, n)
+		if math.Abs(exact-rows[n-1].S[0]) > 1e-9 {
+			t.Errorf("n=%d: ExactGrayFraction %v vs Figure2 S1 %v", n, exact, rows[n-1].S[0])
+		}
+	}
+}
+
+func TestExactApproachesAsymptotic(t *testing.T) {
+	// 2-D: the exact fraction should approach f2 ≈ 0.614 from above as the
+	// domain grows.
+	f8 := ExactGrayFraction(2, 8)
+	f10 := ExactGrayFraction(2, 10)
+	asym := GrayMinimalFraction(2)
+	if !(f10 < f8) {
+		t.Errorf("exact fraction not decreasing: n=8 %v, n=10 %v", f8, f10)
+	}
+	if f10 < asym {
+		t.Errorf("exact fraction %v fell below asymptotic %v", f10, asym)
+	}
+	if f10-asym > 0.05 {
+		t.Errorf("exact fraction %v too far above asymptotic %v", f10, asym)
+	}
+}
+
+func TestFigure1Format(t *testing.T) {
+	rows := Figure1(4, 10_000, 1)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if FormatFigure1(rows) == "" {
+		t.Error("empty format")
+	}
+}
+
+func BenchmarkMonteCarloGray(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloGrayFraction(3, 10_000, int64(i))
+	}
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Figure2Row holds, for one domain bound 2^n, the cumulative percentage of
+// ℓ1×ℓ2×ℓ3 meshes (1 ≤ ℓi ≤ 2^n, ordered triples) that achieve relative
+// expansion one with methods 1..i, for i = 1..4 — the four curves S1..S4 of
+// Figure 2 — plus the percentage that achieve relative expansion ≤ 2 after
+// all four methods.
+type Figure2Row struct {
+	N          int        // domain bound exponent: 1 ≤ ℓi ≤ 2^N
+	S          [4]float64 // cumulative % with ε = 1 after methods ≤ i
+	S4Eps2     float64    // % with ε ≤ 2 after all methods
+	Total      uint64     // number of ordered triples, 2^(3N)
+	Exceptions uint64     // ordered triples with no method (ε = 1) at all
+}
+
+// Figure2 sweeps every mesh contained in a 2^maxN-cube domain and returns
+// one row per n = 1..maxN.  The paper's domain is maxN = 9 (512×512×512);
+// its reported sequence at n = 9 is 28.5, 81.5, 82.9, 96.1.
+//
+// The sweep enumerates sorted triples a ≤ b ≤ c once and weights each by
+// its number of axis permutations; a triple is bucketed at the smallest n
+// whose domain contains it (n = ⌈log₂ c⌉) and contributes to every larger
+// domain cumulatively.
+func Figure2(maxN int) []Figure2Row {
+	if maxN < 1 || maxN > 10 {
+		panic("stats: Figure2 domain exponent out of range")
+	}
+	limit := 1 << uint(maxN)
+	type acc struct {
+		count [5]uint64 // per method index 0..4 (0 = none works at ε=1)
+		eps2  uint64    // best ε ≤ 2 after all methods
+		total uint64
+	}
+	buckets := make([]acc, maxN+1)
+
+	for a := 1; a <= limit; a++ {
+		for b := a; b <= limit; b++ {
+			for c := b; c <= limit; c++ {
+				mult := permCount(a, b, c)
+				bucket := bits.CeilLog2(uint64(c))
+				if bucket == 0 {
+					bucket = 1 // 1x1x1 lives in every domain, smallest is n=1
+				}
+				m := BestMethod(a, b, c)
+				buckets[bucket].count[m] += mult
+				buckets[bucket].total += mult
+				if m == 0 {
+					// ε = 1 unreachable; check ε ≤ 2 via method-4 family.
+					e := RelExpansion(a, b, c)
+					if e[3] <= 2 {
+						buckets[bucket].eps2 += mult
+					}
+				} else {
+					buckets[bucket].eps2 += mult
+				}
+			}
+		}
+	}
+
+	rows := make([]Figure2Row, 0, maxN)
+	var cum acc
+	for n := 1; n <= maxN; n++ {
+		for i := range cum.count {
+			cum.count[i] += buckets[n].count[i]
+		}
+		cum.eps2 += buckets[n].eps2
+		cum.total += buckets[n].total
+		row := Figure2Row{N: n, Total: cum.total, Exceptions: cum.count[0]}
+		running := uint64(0)
+		for i := 1; i <= 4; i++ {
+			running += cum.count[i]
+			row.S[i-1] = 100 * float64(running) / float64(cum.total)
+		}
+		row.S4Eps2 = 100 * float64(cum.eps2) / float64(cum.total)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// permCount returns the number of distinct ordered triples obtained by
+// permuting (a ≤ b ≤ c).
+func permCount(a, b, c int) uint64 {
+	switch {
+	case a == b && b == c:
+		return 1
+	case a == b || b == c:
+		return 3
+	default:
+		return 6
+	}
+}
+
+// FormatFigure2 renders the rows as the text table printed by cmd/figures.
+func FormatFigure2(rows []Figure2Row) string {
+	out := "  n   domain        S1      S2      S3      S4   S4(ε≤2)\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%3d   1..%-6d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			r.N, 1<<uint(r.N), r.S[0], r.S[1], r.S[2], r.S[3], r.S4Eps2)
+	}
+	return out
+}
+
+// Exception is a mesh for which none of the four methods yields a
+// minimal-expansion dilation-two embedding.
+type Exception struct {
+	L1, L2, L3 int
+	Nodes      int
+}
+
+// Exceptions enumerates the sorted shapes (ℓ1 ≤ ℓ2 ≤ ℓ3) with at most
+// maxNodes nodes for which BestMethod is 0.  Section 5 quotes the answers:
+// maxNodes=128 → only 5x5x5; maxNodes=256 adds 5x7x7, 3x9x9, 5x5x10 and
+// 3x5x17.
+func Exceptions(maxNodes int) []Exception {
+	var out []Exception
+	for a := 1; a*a*a <= maxNodes; a++ {
+		for b := a; a*b*b <= maxNodes; b++ {
+			for c := b; a*b*c <= maxNodes; c++ {
+				if BestMethod(a, b, c) == 0 {
+					out = append(out, Exception{a, b, c, a * b * c})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EpsilonDistribution tabulates, for one domain bound 2^n, the fraction of
+// meshes whose best relative expansion after all four methods is exactly ε,
+// for ε = 1, 2, 4 and ≥8 — the full S4(ε) profile of Figure 2 rather than
+// just its ε = 1 slice.
+type EpsilonDistribution struct {
+	N        int
+	Eps1     float64
+	Eps2     float64
+	Eps4     float64
+	EpsWorse float64
+}
+
+// Figure2Epsilon computes the ε distribution over the full domain 1..2^n.
+func Figure2Epsilon(n int) EpsilonDistribution {
+	if n < 1 || n > 9 {
+		panic("stats: Figure2Epsilon domain exponent out of range")
+	}
+	limit := 1 << uint(n)
+	var c1, c2, c4, cw, total uint64
+	for a := 1; a <= limit; a++ {
+		for b := a; b <= limit; b++ {
+			for c := b; c <= limit; c++ {
+				mult := permCount(a, b, c)
+				total += mult
+				e := RelExpansion(a, b, c)
+				switch {
+				case e[3] <= 1:
+					c1 += mult
+				case e[3] <= 2:
+					c2 += mult
+				case e[3] <= 4:
+					c4 += mult
+				default:
+					cw += mult
+				}
+			}
+		}
+	}
+	f := func(x uint64) float64 { return 100 * float64(x) / float64(total) }
+	return EpsilonDistribution{N: n, Eps1: f(c1), Eps2: f(c2), Eps4: f(c4), EpsWorse: f(cw)}
+}

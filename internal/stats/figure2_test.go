@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestMethodPredicatesOnPaperExamples(t *testing.T) {
+	cases := []struct {
+		l1, l2, l3 int
+		method     int
+	}{
+		{8, 8, 8, 1},   // powers of two: Gray
+		{3, 4, 1, 1},   // ⌈3⌉₂⌈4⌉₂ = 16 = ⌈12⌉₂
+		{5, 6, 7, 2},   // §5: pair 5x6 + Gray(7)
+		{5, 10, 11, 2}, // §5: more than one valid pair
+		{9, 3, 7, 2},   // ⌈27⌉₂⌈7⌉₂ = 32·8 = 256 = ⌈189⌉₂
+		{21, 9, 5, 4},  // §5 example: split 21 = 7·3 into (7x9) ⊗ (3x5); no pair works (all give 2048 vs ⌈945⌉₂ = 1024)
+		{3, 3, 3, 3},   // the direct block itself (Gray/pairs both fail)
+		{3, 3, 7, 3},   // likewise
+		{6, 3, 7, 3},   // 3x3x7 ⊗ gray(2,1,1): 64·2 = 128 = ⌈126⌉₂
+		{3, 3, 11, 3},  // extension: 3x3x12 = 3x3x3 ⊗ 1x1x4, 32·4 = 128 = ⌈99⌉₂
+		{3, 3, 23, 3},  // extension: 3x3x28 = 3x3x7 ⊗ 1x1x4, 64·4 = 256 = ⌈207⌉₂ (the paper extends to 3x3x25 instead)
+		{9, 9, 9, 4},   // split 9 = 3·3 into (9x3) ⊗ (3x9): ⌈27⌉₂² = 1024 = ⌈729⌉₂
+		{5, 5, 5, 0},   // §5: the only exception ≤ 128 nodes
+		{5, 7, 7, 0},   // §5 exceptions ≤ 256 nodes
+		{3, 9, 9, 0},
+		{5, 5, 10, 0},
+		{3, 5, 17, 0},
+	}
+	for _, c := range cases {
+		if got := BestMethod(c.l1, c.l2, c.l3); got != c.method {
+			t.Errorf("BestMethod(%d,%d,%d) = %d, want %d", c.l1, c.l2, c.l3, got, c.method)
+		}
+	}
+}
+
+func TestMethodsMonotoneUnderPermutation(t *testing.T) {
+	// The predicates must be symmetric in the axes.
+	triples := [][3]int{{5, 6, 7}, {3, 3, 23}, {5, 5, 5}, {21, 9, 5}, {3, 9, 9}}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, tr := range triples {
+		want := BestMethod(tr[0], tr[1], tr[2])
+		for _, p := range perms {
+			if got := BestMethod(tr[p[0]], tr[p[1]], tr[p[2]]); got != want {
+				t.Errorf("BestMethod not symmetric on %v: perm %v gives %d, want %d", tr, p, got, want)
+			}
+		}
+	}
+}
+
+func TestRelExpansionMonotone(t *testing.T) {
+	for _, tr := range [][3]int{{5, 6, 7}, {5, 5, 5}, {6, 11, 7}, {17, 17, 17}} {
+		e := RelExpansion(tr[0], tr[1], tr[2])
+		for i := 1; i < 4; i++ {
+			if e[i] > e[i-1] {
+				t.Errorf("RelExpansion(%v) not monotone: %v", tr, e)
+			}
+		}
+		if e[0] < 1 {
+			t.Errorf("RelExpansion(%v) below 1: %v", tr, e)
+		}
+		if (BestMethod(tr[0], tr[1], tr[2]) != 0) != (e[3] == 1) {
+			t.Errorf("RelExpansion(%v) inconsistent with BestMethod: %v", tr, e)
+		}
+	}
+}
+
+func TestExceptionsUpTo128(t *testing.T) {
+	// §5: "For the three-dimensional meshes of 128 nodes or less, the
+	// 5x5x5 mesh is the only mesh for which we do not know of a
+	// minimal-expansion dilation-two embedding."
+	ex := Exceptions(128)
+	if len(ex) != 1 || ex[0].L1 != 5 || ex[0].L2 != 5 || ex[0].L3 != 5 {
+		t.Errorf("exceptions ≤128 = %v, want only 5x5x5", ex)
+	}
+}
+
+func TestExceptionsUpTo256(t *testing.T) {
+	// §5: up to 256 nodes there are four additional meshes:
+	// 5x7x7, 3x9x9, 5x5x10 and 3x5x17.
+	ex := Exceptions(256)
+	want := map[[3]int]bool{
+		{5, 5, 5}:  true,
+		{5, 7, 7}:  true,
+		{3, 9, 9}:  true,
+		{5, 5, 10}: true,
+		{3, 5, 17}: true,
+	}
+	if len(ex) != len(want) {
+		t.Fatalf("exceptions ≤256: got %v, want %v", ex, want)
+	}
+	for _, e := range ex {
+		if !want[[3]int{e.L1, e.L2, e.L3}] {
+			t.Errorf("unexpected exception %v", e)
+		}
+	}
+}
+
+func TestFigure2SmallDomain(t *testing.T) {
+	rows := Figure2(3) // 1..8 per axis: 512 ordered triples
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[2]
+	if last.Total != 512 {
+		t.Errorf("total = %d, want 512", last.Total)
+	}
+	// S values are cumulative percentages in [0,100], non-decreasing in i.
+	for i := 1; i < 4; i++ {
+		if last.S[i] < last.S[i-1] {
+			t.Errorf("S not monotone: %v", last.S)
+		}
+	}
+	// Brute-force cross-check of S1 at n=3.
+	count := 0
+	for a := 1; a <= 8; a++ {
+		for b := 1; b <= 8; b++ {
+			for c := 1; c <= 8; c++ {
+				if Method1(a, b, c) {
+					count++
+				}
+			}
+		}
+	}
+	want := 100 * float64(count) / 512
+	if diff := last.S[0] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("S1(n=3) = %v, brute force %v", last.S[0], want)
+	}
+}
+
+func TestFigure2CumulativeAcrossN(t *testing.T) {
+	rows := Figure2(4)
+	// Row n must describe the full domain [1,2^n]^3.
+	for i, r := range rows {
+		wantTotal := uint64(1) << uint(3*(i+1))
+		if r.Total != wantTotal {
+			t.Errorf("n=%d: total %d, want %d", r.N, r.Total, wantTotal)
+		}
+	}
+}
+
+func TestPermCount(t *testing.T) {
+	if permCount(1, 1, 1) != 1 || permCount(1, 1, 2) != 3 || permCount(1, 2, 2) != 3 || permCount(1, 2, 3) != 6 {
+		t.Error("permCount wrong")
+	}
+}
+
+func BenchmarkBestMethod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BestMethod(i%512+1, (i*7)%512+1, (i*13)%512+1)
+	}
+}
+
+func BenchmarkFigure2N5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Figure2(5)
+	}
+}
+
+func TestFigure2GoldenN9(t *testing.T) {
+	// The headline result of the paper (§5): "For a mesh of size less than
+	// or equal to 512x512x512, the cumulated percentages grows as the
+	// sequence: 28.5%, 81.5%, 82.9%, 96.1%."
+	if testing.Short() {
+		t.Skip("full 512^3 sweep skipped in -short mode")
+	}
+	rows := Figure2(9)
+	last := rows[8]
+	want := [4]float64{28.5, 81.5, 82.9, 96.1}
+	for i := range want {
+		got := last.S[i]
+		if got < want[i]-0.05 || got >= want[i]+0.05 {
+			t.Errorf("S%d(n=9) = %.4f%%, paper reports %.1f%%", i+1, got, want[i])
+		}
+	}
+	t.Logf("n=9: S = %.4f / %.4f / %.4f / %.4f (paper: 28.5 / 81.5 / 82.9 / 96.1)",
+		last.S[0], last.S[1], last.S[2], last.S[3])
+}
+
+func TestFigure2Epsilon(t *testing.T) {
+	d := Figure2Epsilon(4)
+	sum := d.Eps1 + d.Eps2 + d.Eps4 + d.EpsWorse
+	if sum < 99.999 || sum > 100.001 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	// Every mesh reaches ε ≤ 2 with the method family (dilation-one Gray
+	// never wastes more than a factor two per §3.1 when applied after the
+	// best pairing — empirically ε ≤ 2 everywhere).
+	if d.Eps4 != 0 || d.EpsWorse != 0 {
+		t.Errorf("unexpected ε > 2 mass: %+v", d)
+	}
+	rows := Figure2(4)
+	if diff := d.Eps1 - rows[3].S[3]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ε=1 mass %v disagrees with S4 %v", d.Eps1, rows[3].S[3])
+	}
+}

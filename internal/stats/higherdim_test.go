@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoveredKMatchesBestMethodFor3D(t *testing.T) {
+	// For k = 3 the grouping predicate must subsume BestMethod: any
+	// 3D-covered triple is covered (as one triple group), and Gray/pair
+	// groupings are exactly methods 1–2, already inside BestMethod.
+	f := func(a, b, c uint8) bool {
+		l1, l2, l3 := int(a%20)+1, int(b%20)+1, int(c%20)+1
+		m := BestMethod(l1, l2, l3)
+		cov := CoveredK([]int{l1, l2, l3})
+		if m != 0 && !cov {
+			return false // grouping must cover everything the methods do
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoveredKExamples(t *testing.T) {
+	cases := []struct {
+		lengths []int
+		want    bool
+	}{
+		{[]int{8, 8, 8, 8}, true},     // Gray
+		{[]int{12, 16, 20, 32}, true}, // §4.2's 4-D example
+		{[]int{3, 5, 3, 5}, true},     // two 2-D pairs: 16·16 = ⌈225⌉₂ ✓
+		{[]int{5, 5, 5}, false},       // §5's exception survives grouping
+		{[]int{3, 3, 3, 3}, true},     // 3x3x3 triple ⊗ gray(3): 32·4 = 128 = ⌈81⌉₂
+		{[]int{5, 5, 5, 5}, true},     // two 5x5 pairs: 32·32 = 1024 = ⌈625⌉₂
+		{[]int{5, 5, 5, 1}, false},    // the 5x5x5 exception with a unit axis
+		{[]int{3, 3, 3, 7}, true},     // 3x3x7 triple ⊗ gray(3): 64·4 = 256 = ⌈189⌉₂
+	}
+	for _, c := range cases {
+		if got := CoveredK(c.lengths); got != c.want {
+			t.Errorf("CoveredK(%v) = %v, want %v", c.lengths, got, c.want)
+		}
+	}
+}
+
+func TestCoveredKOrderInvariant(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		l := []int{int(a%12) + 1, int(b%12) + 1, int(c%12) + 1, int(d%12) + 1}
+		want := CoveredK(l)
+		perm := []int{l[3], l[1], l[0], l[2]}
+		return CoveredK(perm) == want && CoveredK(sortedCopy(l)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHigherDimCoverageSmall(t *testing.T) {
+	r := HigherDimCoverage(4, 3) // 1..8 per axis
+	if r.Total != 8*8*8*8 {
+		t.Fatalf("total = %d", r.Total)
+	}
+	if r.CoveredPct < r.GrayPct {
+		t.Errorf("grouped %.1f%% below Gray %.1f%%", r.CoveredPct, r.GrayPct)
+	}
+	if r.CoveredPct <= 50 {
+		t.Errorf("§8 conjecture fails already at k=4, n=3: %.1f%%", r.CoveredPct)
+	}
+}
+
+func TestHigherDimConjecture(t *testing.T) {
+	// §8: "We conjecture that a majority of the higher dimensional meshes
+	// can be embedded with dilation two using the existing two-, and
+	// three-dimensional mesh embeddings."  Check k = 4 and 5 over the
+	// largest domains that sweep quickly.
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for _, c := range []struct{ k, n int }{{4, 5}, {5, 4}} {
+		r := HigherDimCoverage(c.k, c.n)
+		t.Logf("k=%d, 1..%d: Gray %.1f%%, grouped %.1f%% (of %d meshes)",
+			c.k, 1<<uint(c.n), r.GrayPct, r.CoveredPct, r.Total)
+		if r.CoveredPct <= 50 {
+			t.Errorf("conjecture refuted at k=%d n=%d: %.1f%%", c.k, c.n, r.CoveredPct)
+		}
+	}
+}
+
+func TestPermutationsHelper(t *testing.T) {
+	cases := []struct {
+		s    []int
+		want uint64
+	}{
+		{[]int{1, 1, 1, 1}, 1},
+		{[]int{1, 1, 2, 2}, 6},
+		{[]int{1, 2, 3, 4}, 24},
+		{[]int{1, 1, 1, 2}, 4},
+		{[]int{2, 3}, 2},
+	}
+	for _, c := range cases {
+		if got := permutations(c.s); got != c.want {
+			t.Errorf("permutations(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func BenchmarkCoveredK(b *testing.B) {
+	l := []int{6, 10, 14, 18}
+	for i := 0; i < b.N; i++ {
+		_ = CoveredK(l)
+	}
+}
+
+func BenchmarkHigherDim4D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HigherDimCoverage(4, 3)
+	}
+}

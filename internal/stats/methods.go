@@ -1,0 +1,192 @@
+// Package stats reproduces the counting results of the paper: the
+// asymptotic Gray-code coverage of Theorem 2 / Figure 1, the cumulative
+// coverage of the four embedding methods of Section 5 / Figure 2 (with the
+// headline sequence 28.5%, 81.5%, 82.9%, 96.1% at n = 9), and the
+// exceptional-mesh enumerations quoted in the text.
+package stats
+
+import (
+	"repro/internal/bits"
+)
+
+// c2 is shorthand for ⌈x⌉₂ on ints.
+func c2(x int) uint64 { return bits.CeilPow2(uint64(x)) }
+
+// Method1 reports whether the Gray-code embedding is minimal for the
+// ℓ1×ℓ2×ℓ3 mesh: ⌈ℓ1⌉₂⌈ℓ2⌉₂⌈ℓ3⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂.
+func Method1(l1, l2, l3 int) bool {
+	return c2(l1)*c2(l2)*c2(l3) == c2(l1*l2*l3)
+}
+
+// Method2 reports whether some axis pair, embedded two-dimensionally with
+// minimal expansion (Chan [4] / modified line compression), combined with a
+// Gray code on the third axis, is minimal:
+// ∃(i,j): ⌈ℓiℓj⌉₂·⌈ℓk⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂.
+func Method2(l1, l2, l3 int) bool {
+	T := c2(l1 * l2 * l3)
+	return c2(l1*l2)*c2(l3) == T || c2(l2*l3)*c2(l1) == T || c2(l3*l1)*c2(l2) == T
+}
+
+// Method3Exact reports whether a direct 3x3x3 or 3x3x7 block, combined with
+// Gray codes on the residual axes (Corollary 2), is minimal, without any
+// axis extension.  The paper's Figure 2 counts method 3 with extension; see
+// Method3.
+func Method3Exact(l1, l2, l3 int) bool {
+	T := c2(l1 * l2 * l3)
+	// 3x3x3 block: every axis divisible by 3, 27 block nodes in a 5-cube.
+	if l1%3 == 0 && l2%3 == 0 && l3%3 == 0 {
+		if 32*c2(l1/3)*c2(l2/3)*c2(l3/3) == T {
+			return true
+		}
+	}
+	// 3x3x7 block: two axes divisible by 3, one by 7, 63 nodes in a 6-cube.
+	l := [3]int{l1, l2, l3}
+	for sevenAxis := 0; sevenAxis < 3; sevenAxis++ {
+		a, b, c := l[sevenAxis], l[(sevenAxis+1)%3], l[(sevenAxis+2)%3]
+		if a%7 == 0 && b%3 == 0 && c%3 == 0 {
+			if 64*c2(a/7)*c2(b/3)*c2(c/3) == T {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Method4Split reports whether the axis-split decomposition of Figure 2's
+// item 4 applies: for some split axis m with the remaining axes a, b, there
+// are ℓ', ℓ” with ℓ'ℓ” ≥ ℓm and ⌈ℓa·ℓ'⌉₂ · ⌈ℓ”·ℓb⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂ (both
+// factors embedded two-dimensionally per [4]).  Feasibility for a
+// factorization P·Q of the minimal cube is ⌊P/ℓa⌋ · ⌊Q/ℓb⌋ ≥ ℓm.
+func Method4Split(l1, l2, l3 int) bool {
+	T := c2(l1 * l2 * l3)
+	n := bits.CeilLog2(uint64(l1 * l2 * l3))
+	l := [3]int{l1, l2, l3}
+	for m := 0; m < 3; m++ {
+		lm, la, lb := l[m], l[(m+1)%3], l[(m+2)%3]
+		for p := 0; p <= n; p++ {
+			P := uint64(1) << uint(p)
+			Q := T / P
+			lp := int(P) / la
+			lpp := int(Q) / lb
+			if lp >= 1 && lpp >= 1 && lp*lpp >= lm {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Method3 reports whether a direct 3x3x3 or 3x3x7 block applies, allowing
+// the axis extension of strategy step 3 (§4.2): grow ℓᵢ to the next
+// multiple of its block divisor provided the minimal cube is unchanged.
+// This is the semantics under which Figure 2's S3 reproduces the published
+// 82.9% at n = 9 (the no-extension reading gives 81.5%).  Extension cannot
+// help methods 1 or 2 — enlarging an axis never lowers an ⌈·⌉₂ factor — so
+// blocks are the only beneficiaries, and the minimal extension (next
+// multiple) is optimal because larger multiples only grow ⌈ℓᵢ/dᵢ⌉₂.
+func Method3(l1, l2, l3 int) bool {
+	T := c2(l1 * l2 * l3)
+	ceilDiv := func(x, d int) int { return (x + d - 1) / d }
+	if 32*c2(ceilDiv(l1, 3))*c2(ceilDiv(l2, 3))*c2(ceilDiv(l3, 3)) == T {
+		return true
+	}
+	l := [3]int{l1, l2, l3}
+	for sevenAxis := 0; sevenAxis < 3; sevenAxis++ {
+		a, b, c := l[sevenAxis], l[(sevenAxis+1)%3], l[(sevenAxis+2)%3]
+		if 64*c2(ceilDiv(a, 7))*c2(ceilDiv(b, 3))*c2(ceilDiv(c, 3)) == T {
+			return true
+		}
+	}
+	return false
+}
+
+// Method4 reports whether the axis-split decomposition applies; it is
+// Method4Split under the canonical reading (extension is already part of
+// method 3).
+func Method4(l1, l2, l3 int) bool {
+	return Method4Split(l1, l2, l3)
+}
+
+// BestMethod returns the smallest method index (1..4) that yields a
+// minimal-expansion dilation-two embedding for the ℓ1×ℓ2×ℓ3 mesh, or 0 when
+// none of the four methods applies.
+func BestMethod(l1, l2, l3 int) int {
+	switch {
+	case Method1(l1, l2, l3):
+		return 1
+	case Method2(l1, l2, l3):
+		return 2
+	case Method3(l1, l2, l3):
+		return 3
+	case Method4(l1, l2, l3):
+		return 4
+	}
+	return 0
+}
+
+// RelExpansion returns, for each method prefix S1..S4, the best relative
+// expansion 2^(dims used)/⌈ℓ1ℓ2ℓ3⌉₂ achievable with methods 1..i.
+// Entries are at least 1; method prefixes that cannot improve keep the
+// previous value.
+func RelExpansion(l1, l2, l3 int) [4]float64 {
+	T := c2(l1 * l2 * l3)
+	tf := float64(T)
+
+	e1 := float64(c2(l1)*c2(l2)*c2(l3)) / tf
+
+	e2 := e1
+	for _, v := range [3]uint64{
+		c2(l1*l2) * c2(l3), c2(l2*l3) * c2(l1), c2(l3*l1) * c2(l2),
+	} {
+		if f := float64(v) / tf; f < e2 {
+			e2 = f
+		}
+	}
+
+	e3 := e2
+	ceilDiv := func(x, d int) int { return (x + d - 1) / d }
+	if f := float64(32*c2(ceilDiv(l1, 3))*c2(ceilDiv(l2, 3))*c2(ceilDiv(l3, 3))) / tf; f < e3 {
+		e3 = f
+	}
+	l := [3]int{l1, l2, l3}
+	for sevenAxis := 0; sevenAxis < 3; sevenAxis++ {
+		a, b, c := l[sevenAxis], l[(sevenAxis+1)%3], l[(sevenAxis+2)%3]
+		if f := float64(64*c2(ceilDiv(a, 7))*c2(ceilDiv(b, 3))*c2(ceilDiv(c, 3))) / tf; f < e3 {
+			e3 = f
+		}
+	}
+
+	e4 := e3
+	if e4 > 1 {
+		// Method 4 with expanded hosts: smallest ε = 2^k such that the
+		// split condition holds on a cube of ε·⌈·⌉₂ nodes.
+		n := bits.CeilLog2(uint64(l1 * l2 * l3))
+		for eps := uint64(1); float64(eps) < e4; eps *= 2 {
+			if method4At(l, n, T*eps) {
+				e4 = float64(eps)
+				break
+			}
+		}
+	}
+	return [4]float64{e1, e2, e3, e4}
+}
+
+// method4At checks the method-4 split condition against a host of `total`
+// nodes (a power of two ≥ ⌈ℓ1ℓ2ℓ3⌉₂).
+func method4At(l [3]int, n int, total uint64) bool {
+	maxP := bits.FloorLog2(total)
+	_ = n
+	for m := 0; m < 3; m++ {
+		lm, la, lb := l[m], l[(m+1)%3], l[(m+2)%3]
+		for p := 0; p <= maxP; p++ {
+			P := uint64(1) << uint(p)
+			Q := total / P
+			lp := int(P) / la
+			lpp := int(Q) / lb
+			if lp >= 1 && lpp >= 1 && lp*lpp >= lm {
+				return true
+			}
+		}
+	}
+	return false
+}

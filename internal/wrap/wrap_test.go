@@ -1,0 +1,310 @@
+package wrap
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// ringEdgesOK walks the ring layout and checks every consecutive (and the
+// closing) step stays within the allowed per-step structure: row codes at
+// Hamming distance ≤ maxRow and columns differing by ≤ 1, never both.
+func ringLayoutOK(t *testing.T, lay axisLayout, l int, maxRow int) {
+	t.Helper()
+	if len(lay.Codes) != l || len(lay.Cols) != l {
+		t.Fatalf("layout length %d/%d, want %d", len(lay.Codes), len(lay.Cols), l)
+	}
+	seen := make(map[[2]int]bool)
+	for w := 0; w < l; w++ {
+		key := [2]int{int(lay.Codes[w]), lay.Cols[w]}
+		if seen[key] {
+			t.Fatalf("l=%d: duplicate strip slot %v", l, key)
+		}
+		seen[key] = true
+	}
+	if l == 1 {
+		return
+	}
+	for w := 0; w < l; w++ {
+		v := (w + 1) % l
+		rowDist := bits.Hamming(lay.Codes[w], lay.Codes[v])
+		colDist := lay.Cols[w] - lay.Cols[v]
+		if colDist < 0 {
+			colDist = -colDist
+		}
+		if rowDist > maxRow {
+			t.Errorf("l=%d: step %d→%d row distance %d > %d", l, w, v, rowDist, maxRow)
+		}
+		if colDist > 1 {
+			t.Errorf("l=%d: step %d→%d column distance %d", l, w, v, colDist)
+		}
+		if rowDist > 1 && colDist > 0 {
+			t.Errorf("l=%d: step %d→%d moves %d rows and %d columns", l, w, v, rowDist, colDist)
+		}
+	}
+}
+
+func TestRingHalfLayouts(t *testing.T) {
+	for l := 1; l <= 64; l++ {
+		lay := ringHalf(l)
+		m := (l + 1) / 2
+		for w := 0; w < l; w++ {
+			if lay.Cols[w] < 0 || lay.Cols[w] >= m {
+				t.Fatalf("l=%d: column %d out of strip", l, lay.Cols[w])
+			}
+		}
+		// Even rings: every step moves one row xor one column.  Odd rings:
+		// the wrap step may move a row and a column together (the logical
+		// edge through the removed slot), so only the slot/dup checks and
+		// the host-level dilation test below apply.
+		if l%2 == 0 {
+			ringLayoutOK(t, lay, l, 1)
+		}
+	}
+}
+
+func TestRingQuarterLayouts(t *testing.T) {
+	for l := 1; l <= 101; l++ {
+		lay := ringQuarter(l)
+		m := (l + 3) / 4
+		for w := 0; w < l; w++ {
+			if lay.Cols[w] < 0 || lay.Cols[w] >= m {
+				t.Fatalf("l=%d: column %d out of strip", l, lay.Cols[w])
+			}
+		}
+		ringLayoutOK(t, lay, l, 2)
+	}
+}
+
+func TestHalvingRingDilation(t *testing.T) {
+	// One-dimensional tori: base is a ⌈l/2⌉ path embedded by Gray
+	// (dilation 1); Lemma 3 promises dilation ≤ 2 (= d+1), ≤ 1 when even.
+	for l := 2; l <= 40; l++ {
+		shape := mesh.Shape{l}
+		base := embed.Gray(mesh.Shape{(l + 1) / 2})
+		e := Halving(base, shape)
+		if err := e.Verify(); err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		d := e.Dilation()
+		limit := 2
+		if l%2 == 0 {
+			limit = 1
+		}
+		if d > limit {
+			t.Errorf("l=%d: dilation %d > %d", l, d, limit)
+		}
+	}
+}
+
+func TestQuarteringRingDilation(t *testing.T) {
+	for l := 2; l <= 83; l++ {
+		shape := mesh.Shape{l}
+		base := embed.Gray(mesh.Shape{(l + 3) / 4})
+		e := Quartering(base, shape)
+		if err := e.Verify(); err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		if d := e.Dilation(); d > 2 {
+			t.Errorf("l=%d: dilation %d > 2", l, d)
+		}
+	}
+}
+
+func TestHalving2D(t *testing.T) {
+	// 6x10 torus: halved base 3x5 (direct table, dilation 2), all even →
+	// dilation ≤ 2 and minimal: ⌈60⌉₂ = 64 = 4·⌈15⌉₂ ✓.
+	shape := mesh.Shape{6, 10}
+	if !HalvingMinimal(shape) {
+		t.Fatal("6x10 should satisfy the halving condition")
+	}
+	base := core.PlanShape(mesh.Shape{3, 5}, core.DefaultOptions).Build()
+	e := Halving(base, shape)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() {
+		t.Errorf("not minimal: %s", e.Measure())
+	}
+	if d := e.Dilation(); d > 2 {
+		t.Errorf("dilation %d > 2", d)
+	}
+}
+
+func TestHalvingOddAxes(t *testing.T) {
+	// 5x7 torus: base 3x4 Gray (dilation 1) → dilation ≤ 2.
+	// Minimal: ⌈35⌉₂ = 64 = 4·⌈12⌉₂ = 4·16 ✓.
+	shape := mesh.Shape{5, 7}
+	if !HalvingMinimal(shape) {
+		t.Fatal("5x7 should satisfy the halving condition")
+	}
+	base := embed.Gray(mesh.Shape{3, 4})
+	e := Halving(base, shape)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() {
+		t.Errorf("not minimal: %s", e.Measure())
+	}
+	if d := e.Dilation(); d > 2 { // d+1 with d = 1
+		t.Errorf("dilation %d > 2", d)
+	}
+}
+
+func TestQuartering2D(t *testing.T) {
+	// 12x11 torus: quartered base 3x3 (Gray, dilation 1) → dilation ≤ 2.
+	// Minimal: ⌈132⌉₂ = 256 = 16·⌈9⌉₂ = 16·16 ✓.
+	shape := mesh.Shape{12, 11}
+	if !QuarteringMinimal(shape) {
+		t.Fatal("12x11 should satisfy the quartering condition")
+	}
+	base := embed.Gray(mesh.Shape{3, 3})
+	e := Quartering(base, shape)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() {
+		t.Errorf("not minimal: %s", e.Measure())
+	}
+	if d := e.Dilation(); d > 2 {
+		t.Errorf("dilation %d > 2", d)
+	}
+}
+
+func TestEmbedPowersOfTwo(t *testing.T) {
+	e := Embed(mesh.Shape{8, 16}, core.Options{})
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Dilation() != 1 || !e.Minimal() {
+		t.Errorf("power-of-two torus: %s", e.Measure())
+	}
+}
+
+func TestEmbedAlwaysValidAndMinimal(t *testing.T) {
+	for _, s := range []mesh.Shape{{5}, {6, 10}, {5, 7}, {12, 11}, {3, 5, 7}, {9, 9}, {17, 3}} {
+		e := Embed(s, core.Options{})
+		if err := e.Verify(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !e.Wrap {
+			t.Errorf("%v: not marked wraparound", s)
+		}
+		if !e.Minimal() {
+			t.Errorf("%v: not minimal: %s", s, e.Measure())
+		}
+	}
+}
+
+func TestCorollary3Examples(t *testing.T) {
+	// Two-dimensional tori: dilation ≤ 2 when QuarteringMinimal or both
+	// even (with dilation-2 bases); ≤ 3 when HalvingMinimal.
+	for _, s := range []mesh.Shape{{12, 11}, {6, 10}, {10, 6}, {12, 20}} {
+		e := Embed(s, core.DefaultOptions)
+		if err := e.Verify(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if d := e.Dilation(); d > 2 {
+			t.Errorf("%v: dilation %d, Corollary 3 promises ≤ 2", s, d)
+		}
+	}
+	// HalvingMinimal-only example with an odd axis: 5x7.
+	e := Embed(mesh.Shape{5, 7}, core.DefaultOptions)
+	if d := e.Dilation(); d > 3 {
+		t.Errorf("5x7: dilation %d, Corollary 3 promises ≤ 3", d)
+	}
+}
+
+func TestHalvingPanicsOnBadBase(t *testing.T) {
+	base := embed.Gray(mesh.Shape{3, 5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Halving(base, mesh.Shape{6, 11}) // ⌈11/2⌉ = 6 ≠ 5
+}
+
+func TestMinimalityPredicates(t *testing.T) {
+	if !HalvingMinimal(mesh.Shape{6, 10}) {
+		t.Error("6x10 halving should be minimal")
+	}
+	if !AllEven(mesh.Shape{6, 10}) || AllEven(mesh.Shape{6, 11}) {
+		t.Error("AllEven wrong")
+	}
+	// 2^k condition can fail: 3x3 torus — ⌈9⌉₂ = 16 vs 4·⌈4⌉₂ = 16 ✓.
+	if !HalvingMinimal(mesh.Shape{3, 3}) {
+		t.Error("3x3 halving should be minimal")
+	}
+	// 7x9: ⌈63⌉₂ = 64 vs 4·⌈4·5⌉₂ = 4·32 = 128 ✗.
+	if HalvingMinimal(mesh.Shape{7, 9}) {
+		t.Error("7x9 halving should not be minimal")
+	}
+}
+
+func BenchmarkQuartering(b *testing.B) {
+	shape := mesh.Shape{12, 11}
+	base := embed.Gray(mesh.Shape{3, 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Quartering(base, shape)
+	}
+}
+
+func BenchmarkTorusEmbed(b *testing.B) {
+	shapes := []mesh.Shape{{6, 10}, {12, 11}, {5, 7}}
+	for i := 0; i < b.N; i++ {
+		_ = Embed(shapes[i%len(shapes)], core.Options{})
+	}
+}
+
+func TestHalving3DTorus(t *testing.T) {
+	// 6x6x6 torus: halved base 3x3x3 (direct table, dilation 2), all axes
+	// even → dilation ≤ 2; minimal: ⌈216⌉₂ = 256 = 8·⌈27⌉₂ = 8·32 ✓.
+	shape := mesh.Shape{6, 6, 6}
+	if !HalvingMinimal(shape) {
+		t.Fatal("6x6x6 should satisfy the halving condition")
+	}
+	base := core.PlanShape(mesh.Shape{3, 3, 3}, core.DefaultOptions).Build()
+	e := Halving(base, shape)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() || e.Dilation() > 2 {
+		t.Errorf("6x6x6 torus: %s", e.Measure())
+	}
+}
+
+func TestQuartering3DTorus(t *testing.T) {
+	// 12x12x11 torus over the 3x3x3 base: ⌈1584⌉₂ = 2048 = 64·⌈27⌉₂ ✓.
+	shape := mesh.Shape{12, 12, 11}
+	if !QuarteringMinimal(shape) {
+		t.Fatal("12x12x11 should satisfy the quartering condition")
+	}
+	base := core.PlanShape(mesh.Shape{3, 3, 3}, core.DefaultOptions).Build()
+	e := Quartering(base, shape)
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Minimal() || e.Dilation() > 2 {
+		t.Errorf("12x12x11 torus: %s", e.Measure())
+	}
+}
+
+func TestEmbedRandomTori(t *testing.T) {
+	// Fuzz-ish sweep: every torus builds a valid minimal embedding.
+	for a := 2; a <= 12; a++ {
+		for b := a; b <= 12; b++ {
+			e := Embed(mesh.Shape{a, b}, core.Options{})
+			if err := e.Verify(); err != nil {
+				t.Fatalf("%dx%d: %v", a, b, err)
+			}
+			if !e.Minimal() {
+				t.Errorf("%dx%d: not minimal", a, b)
+			}
+		}
+	}
+}

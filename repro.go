@@ -1,0 +1,123 @@
+// Package repro embeds multidimensional meshes in Boolean cubes
+// (hypercubes) by graph decomposition, reproducing
+//
+//	Ching-Tien Ho and S. Lennart Johnsson,
+//	"Embedding Three-Dimensional Meshes in Boolean Cubes by Graph
+//	Decomposition", ICPP 1990.
+//
+// The facade exposes the library's main entry points; the construction
+// machinery lives in the internal packages (core, embed, wrap, manyone,
+// stats — see DESIGN.md for the map).
+//
+// # Quick start
+//
+//	shape := repro.MustShape("5x6x7")
+//	result := repro.Embed(shape)
+//	fmt.Println(result.Plan)           // how the embedding is built
+//	fmt.Println(result.Metrics)        // expansion, dilation, congestion
+//	host := result.Embedding.Map[idx]  // cube address of a mesh node
+//
+// Every embedding targets the minimal cube (⌈log₂|V|⌉ dimensions).  Shapes
+// whose decomposition matches one of the paper's methods get guaranteed
+// dilation ≤ 2; the rest fall back to a valid snake embedding whose
+// dilation is measured and reported.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/manyone"
+	"repro/internal/mesh"
+	"repro/internal/wrap"
+)
+
+// Shape is the vector of mesh axis lengths; see mesh.Shape.
+type Shape = mesh.Shape
+
+// Embedding maps a guest mesh into a Boolean cube; see embed.Embedding.
+type Embedding = embed.Embedding
+
+// Metrics bundles the quality measures of an embedding.
+type Metrics = embed.Metrics
+
+// Plan is a construction tree produced by the planner.
+type Plan = core.Plan
+
+// Options tunes the planner; the zero value disables the solver fallback.
+type Options = core.Options
+
+// ParseShape parses "5x6x7"-style shape strings.
+func ParseShape(s string) (Shape, error) { return mesh.ParseShape(s) }
+
+// MustShape is ParseShape panicking on error, for literals in examples.
+func MustShape(s string) Shape {
+	out, err := mesh.ParseShape(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Result is an embedding together with its plan and measured metrics.
+type Result struct {
+	Plan      *Plan
+	Embedding *Embedding
+	Metrics   Metrics
+}
+
+// Embed builds a minimal-expansion embedding of the mesh into its minimal
+// Boolean cube using the graph-decomposition planner (methods 1-4 of the
+// paper plus solver/snake fallbacks) with default options.
+func Embed(shape Shape) Result {
+	return EmbedWith(shape, core.DefaultOptions)
+}
+
+// EmbedWith is Embed with explicit planner options.
+func EmbedWith(shape Shape, opts Options) Result {
+	plan := core.PlanShape(shape, opts)
+	e := plan.Build()
+	return Result{Plan: plan, Embedding: e, Metrics: e.Measure()}
+}
+
+// EmbedGray builds the classical Gray-code embedding (dilation one,
+// congestion one, expansion Π⌈ℓᵢ⌉₂/Πℓᵢ — minimal only when
+// shape.GrayMinimal() holds).  It is the baseline the paper improves on.
+func EmbedGray(shape Shape) Result {
+	e := embed.Gray(shape)
+	return Result{Plan: nil, Embedding: e, Metrics: e.Measure()}
+}
+
+// EmbedTorus builds a minimal-expansion embedding of the wraparound mesh
+// using the constructions of Section 6 (cyclic Gray codes, quartering,
+// halving, snake fallback).
+func EmbedTorus(shape Shape) Result {
+	e := wrap.Embed(shape, core.DefaultOptions)
+	return Result{Plan: nil, Embedding: e, Metrics: e.Measure()}
+}
+
+// EmbedManyToOne embeds the mesh into an n-cube smaller than the mesh with
+// dilation one and load factor within a factor of two of optimal, per
+// Corollary 5.  ok is false when no axis cover satisfies the corollary's
+// conditions.
+func EmbedManyToOne(shape Shape, n int) (Result, bool) {
+	e, _, ok := manyone.Corollary5(shape, n)
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Plan: nil, Embedding: e, Metrics: e.Measure()}, true
+}
+
+// Contract collapses factors[i] consecutive indices along axis i of the
+// base embedding's guest (Lemma 5): load multiplies by Πfactors, dilation
+// is unchanged.
+func Contract(base *Embedding, factors Shape) *Embedding {
+	return manyone.Contract(base, factors)
+}
+
+// Product composes two mesh embeddings into an embedding of the
+// componentwise-product mesh (Theorem 3 / Corollary 2): dilation and
+// congestion are the maxima over the factors, expansion multiplies.
+func Product(e1, e2 *Embedding) *Embedding { return core.Product(e1, e2) }
+
+// SubMesh restricts an embedding to a componentwise-smaller guest.
+func SubMesh(e *Embedding, target Shape) *Embedding { return core.SubMesh(e, target) }

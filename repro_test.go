@@ -1,0 +1,142 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestEmbedFacade(t *testing.T) {
+	r := repro.Embed(repro.MustShape("5x6x7"))
+	if err := r.Embedding.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Metrics.Minimal {
+		t.Errorf("5x6x7 should be minimal: %s", r.Metrics)
+	}
+	if r.Metrics.Dilation > 2 {
+		t.Errorf("5x6x7 dilation %d", r.Metrics.Dilation)
+	}
+	if r.Plan == nil || r.Plan.String() == "" {
+		t.Error("missing plan")
+	}
+}
+
+func TestEmbedGrayFacade(t *testing.T) {
+	r := repro.EmbedGray(repro.MustShape("5x6x7"))
+	if r.Metrics.Dilation != 1 {
+		t.Errorf("Gray dilation %d", r.Metrics.Dilation)
+	}
+	if r.Metrics.Minimal {
+		t.Error("5x6x7 Gray should not be minimal (512 hosts for 210 nodes)")
+	}
+}
+
+func TestEmbedTorusFacade(t *testing.T) {
+	r := repro.EmbedTorus(repro.MustShape("6x10"))
+	if err := r.Embedding.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Metrics.Wrap || !r.Metrics.Minimal || r.Metrics.Dilation > 2 {
+		t.Errorf("6x10 torus: %s", r.Metrics)
+	}
+}
+
+func TestEmbedManyToOneFacade(t *testing.T) {
+	r, ok := repro.EmbedManyToOne(repro.MustShape("19x19"), 5)
+	if !ok {
+		t.Fatal("19x19 should satisfy Corollary 5")
+	}
+	if r.Metrics.Dilation != 1 || r.Metrics.LoadFactor != 15 {
+		t.Errorf("19x19: %s", r.Metrics)
+	}
+}
+
+func TestProductFacade(t *testing.T) {
+	a := repro.Embed(repro.MustShape("3x5")).Embedding
+	b := repro.EmbedGray(repro.MustShape("4x4")).Embedding
+	p := repro.Product(a, b)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dilation() > 2 {
+		t.Errorf("product dilation %d", p.Dilation())
+	}
+	sub := repro.SubMesh(p, repro.MustShape("12x19"))
+	if err := sub.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractFacade(t *testing.T) {
+	base := repro.EmbedGray(repro.MustShape("8x8")).Embedding
+	c := repro.Contract(base, repro.Shape{3, 2})
+	if err := c.VerifyManyToOne(); err != nil {
+		t.Fatal(err)
+	}
+	if c.LoadFactor() != 6 || c.Dilation() != 1 {
+		t.Errorf("contract: %s", c.Measure())
+	}
+}
+
+func TestParseShapeError(t *testing.T) {
+	if _, err := repro.ParseShape("3x0"); err == nil {
+		t.Error("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustShape should panic")
+		}
+	}()
+	repro.MustShape("bogus")
+}
+
+func TestEmbedFuzzShapes(t *testing.T) {
+	// End-to-end sweep: random shapes of 1-4 axes always produce valid,
+	// minimal-expansion embeddings whose measured dilation respects any
+	// plan guarantee.
+	r := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 120; trial++ {
+		dims := r.Intn(4) + 1
+		s := make(repro.Shape, dims)
+		nodes := 1
+		for i := range s {
+			s[i] = r.Intn(20) + 1
+			nodes *= s[i]
+		}
+		if nodes > 4096 {
+			continue
+		}
+		res := repro.EmbedWith(s, repro.Options{})
+		if err := res.Embedding.Verify(); err != nil {
+			t.Fatalf("%v: %v (plan %s)", s, err, res.Plan)
+		}
+		if !res.Metrics.Minimal {
+			t.Errorf("%v: not minimal (plan %s)", s, res.Plan)
+		}
+	}
+}
+
+func TestTorusFuzzShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		dims := r.Intn(3) + 1
+		s := make(repro.Shape, dims)
+		nodes := 1
+		for i := range s {
+			s[i] = r.Intn(14) + 2
+			nodes *= s[i]
+		}
+		if nodes > 4096 {
+			continue
+		}
+		res := repro.EmbedTorus(s)
+		if err := res.Embedding.Verify(); err != nil {
+			t.Fatalf("torus %v: %v", s, err)
+		}
+		if !res.Metrics.Minimal || !res.Metrics.Wrap {
+			t.Errorf("torus %v: %s", s, res.Metrics)
+		}
+	}
+}
