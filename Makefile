@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench figures fmt
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with shared mutable state: the planner cache,
+# the sweep engine, and the root facade's shared default planner.
+race:
+	$(GO) test -race ./internal/core ./internal/stats ./internal/sweep .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+figures:
+	$(GO) run ./cmd/figures
+
+fmt:
+	gofmt -l -w .

@@ -199,3 +199,74 @@ func BenchmarkHigherDimConjecture(b *testing.B) {
 		}
 	}
 }
+
+// plannerSweepShapes enumerates every sorted triple with axes ≤ 10 — the
+// workload for the cache benchmarks below.  The shapes share many
+// sub-shapes (axis pairs, factors, fold children), which is exactly what
+// the canonical-shape cache exploits.
+func plannerSweepShapes() []repro.Shape {
+	var shapes []repro.Shape
+	for a := 1; a <= 10; a++ {
+		for b := a; b <= 10; b++ {
+			for c := b; c <= 10; c++ {
+				shapes = append(shapes, repro.Shape{a, b, c})
+			}
+		}
+	}
+	return shapes
+}
+
+// BenchmarkPlannerCached: one shared caching Planner across a 220-shape
+// sweep (cold cache on the first shape, warm after).
+func BenchmarkPlannerCached(b *testing.B) {
+	shapes := plannerSweepShapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := repro.NewPlanner(repro.Options{})
+		for _, s := range shapes {
+			if !pl.Plan(s).Minimal() {
+				b.Fatalf("%v not minimal", s)
+			}
+		}
+	}
+}
+
+// BenchmarkPlannerUncached: the identical sweep with memoization disabled
+// (same canonicalization, so the plans are identical — only the work
+// repeats).
+func BenchmarkPlannerUncached(b *testing.B) {
+	shapes := plannerSweepShapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := repro.NewUncachedPlanner(repro.Options{})
+		for _, s := range shapes {
+			if !pl.Plan(s).Minimal() {
+				b.Fatalf("%v not minimal", s)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2N7Serial: the Figure 2 sweep at n=7 on one worker — the
+// serial reference path.
+func BenchmarkFigure2N7Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := stats.Figure2Parallel(7, 1)
+		if rows[6].S[3] < 90 {
+			b.Fatalf("S4(n=7) = %v", rows[6].S[3])
+		}
+	}
+}
+
+// BenchmarkFigure2N7Parallel: the same sweep on GOMAXPROCS workers.  The
+// first iteration asserts the output is byte-identical to the serial path.
+func BenchmarkFigure2N7Parallel(b *testing.B) {
+	want := stats.FormatFigure2(stats.Figure2Parallel(7, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := stats.Figure2Parallel(7, 0)
+		if i == 0 && stats.FormatFigure2(rows) != want {
+			b.Fatal("parallel Figure 2 output differs from serial")
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	embedctl verify map.txt          # reload and verify a saved embedding
 //	embedctl manyone -cube 5 19x19   # many-to-one per Corollary 5
 //	embedctl compare 12x20           # decomposition vs Gray vs reshaping
+//	embedctl sweep -dims 3 -max 16   # plan every sorted shape in a range
 package main
 
 import (
@@ -34,6 +35,11 @@ func usage() {
   embedctl verify <file>                reload and verify a saved embedding
   embedctl manyone -cube <n> <shape>    many-to-one embedding (Corollary 5)
   embedctl compare <l1>x<l2>            reshaping-vs-decomposition table
+  embedctl sweep [-dims k] [-max L] [-nodes N] [-workers W] [-build]
+                                        plan every sorted k-D shape with axes
+                                        ≤ L and ≤ N nodes through one shared
+                                        Planner; report dilation histogram
+                                        and cache statistics
 shapes look like 5x6x7
 `)
 	os.Exit(2)
@@ -55,6 +61,8 @@ func main() {
 		cmdManyOne(args)
 	case "compare":
 		cmdCompare(args)
+	case "sweep":
+		cmdSweep(args)
 	default:
 		usage()
 	}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/sweep"
+)
+
+// cmdSweep plans every sorted k-dimensional shape within the axis and node
+// bounds through one shared Planner, fanning the work across the sweep
+// worker pool.  The enumeration order (and therefore the report) is
+// deterministic for any worker count.
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	dims := fs.Int("dims", 3, "mesh dimensionality")
+	maxLen := fs.Int("max", 16, "maximum axis length")
+	maxNodes := fs.Int("nodes", 4096, "skip shapes with more nodes")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	build := fs.Bool("build", false, "build + verify every embedding and measure real dilation")
+	_ = fs.Parse(args)
+	if *dims < 1 || *maxLen < 1 {
+		usage()
+	}
+
+	shapes := enumerateSorted(*dims, *maxLen, *maxNodes)
+	if len(shapes) == 0 {
+		fmt.Println("no shapes in range")
+		return
+	}
+	planner := core.NewPlanner(core.DefaultOptions)
+
+	type row struct {
+		dilation int  // guaranteed bound, or measured when -build
+		minimal  bool // minimal cube reached
+		measured bool
+	}
+	rows := sweep.Map(len(shapes), *workers, func(i int) row {
+		p := planner.Plan(shapes[i])
+		r := row{dilation: p.Dilation, minimal: p.Minimal()}
+		if *build {
+			e := p.Build()
+			if err := e.Verify(); err != nil {
+				panic(fmt.Sprintf("embedctl sweep: %s: %v", shapes[i], err))
+			}
+			r.dilation = e.Dilation()
+			r.measured = true
+		}
+		return r
+	})
+
+	hist := map[int]int{}
+	minimal, unknown := 0, 0
+	for _, r := range rows {
+		if r.minimal {
+			minimal++
+		}
+		if r.dilation == core.DilationUnknown {
+			unknown++
+		} else {
+			hist[r.dilation]++
+		}
+	}
+	kind := "guaranteed dilation bound"
+	if *build {
+		kind = "measured dilation"
+	}
+	fmt.Printf("%d shapes (%d-D, axes ≤ %d, ≤ %d nodes), %s:\n",
+		len(shapes), *dims, *maxLen, *maxNodes, kind)
+	for d := 0; d <= *maxLen**maxLen; d++ {
+		if hist[d] > 0 {
+			fmt.Printf("  dilation %d: %d\n", d, hist[d])
+		}
+	}
+	if unknown > 0 {
+		fmt.Printf("  no a-priori bound (snake): %d\n", unknown)
+	}
+	fmt.Printf("minimal cube: %d/%d\n", minimal, len(shapes))
+	st := planner.CacheStats()
+	fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Size)
+}
+
+// enumerateSorted lists all shapes with dims axes, 1 ≤ a₁ ≤ … ≤ a_k ≤
+// maxLen and at most maxNodes nodes, in lexicographic order.
+func enumerateSorted(dims, maxLen, maxNodes int) []mesh.Shape {
+	var out []mesh.Shape
+	cur := make(mesh.Shape, dims)
+	var rec func(i, lo, nodes int)
+	rec = func(i, lo, nodes int) {
+		if i == dims {
+			out = append(out, cur.Clone())
+			return
+		}
+		for l := lo; l <= maxLen; l++ {
+			if nodes*l > maxNodes {
+				break
+			}
+			cur[i] = l
+			rec(i+1, l, nodes*l)
+		}
+	}
+	rec(0, 1, 1)
+	return out
+}

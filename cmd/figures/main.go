@@ -7,6 +7,7 @@
 //	                        # twodim, examples, wrap, manyone, avgdil,
 //	                        # reshape, simnet, highdim
 //	figures -n 7            # smaller Figure 2 domain (default 9)
+//	figures -workers 4      # sweep worker pool size (default GOMAXPROCS)
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	only := flag.String("only", "", "emit a single artifact (fig1, fig2, exceptions, twodim, examples, wrap, manyone, avgdil, reshape, simnet, highdim)")
 	maxN := flag.Int("n", 9, "Figure 2 domain exponent (1..2^n per axis)")
 	samples := flag.Int("samples", 1_000_000, "Monte-Carlo samples for Figure 1")
+	flag.IntVar(&workers, "workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	artifacts := []struct {
@@ -61,6 +63,10 @@ func main() {
 	}
 }
 
+// workers sizes the worker pool for the enumeration sweeps; results are
+// deterministic for any value (see internal/sweep).
+var workers int
+
 func header(title string) {
 	fmt.Printf("\n===== %s =====\n", title)
 }
@@ -77,7 +83,7 @@ func figure1(_, samples int) {
 
 func figure2(maxN, _ int) {
 	header(fmt.Sprintf("Figure 2: cumulative %% of 3-D meshes (1..2^n per axis) at relative expansion 1"))
-	rows := stats.Figure2(maxN)
+	rows := stats.Figure2Parallel(maxN, workers)
 	fmt.Print(stats.FormatFigure2(rows))
 	if maxN == 9 {
 		last := rows[len(rows)-1]
@@ -89,7 +95,7 @@ func figure2(maxN, _ int) {
 func exceptions(_, _ int) {
 	header("§5 exceptional meshes (no minimal-expansion dilation-2 method applies)")
 	for _, limit := range []int{128, 256} {
-		ex := stats.Exceptions(limit)
+		ex := stats.ExceptionsParallel(limit, workers)
 		names := make([]string, len(ex))
 		for i, e := range ex {
 			names[i] = fmt.Sprintf("%dx%dx%d", e.L1, e.L2, e.L3)
@@ -220,12 +226,12 @@ func reshapeAblation(_, _ int) {
 func higherDim(_, _ int) {
 	header("§8 conjecture: higher-dimensional meshes with 2-D/3-D group embeddings")
 	rows := []stats.HigherDimRow{
-		stats.HigherDimCoverage(4, 3),
-		stats.HigherDimCoverage(4, 4),
-		stats.HigherDimCoverage(4, 5),
-		stats.HigherDimCoverage(5, 3),
-		stats.HigherDimCoverage(5, 4),
-		stats.HigherDimCoverage(6, 3),
+		stats.HigherDimCoverageParallel(4, 3, workers),
+		stats.HigherDimCoverageParallel(4, 4, workers),
+		stats.HigherDimCoverageParallel(4, 5, workers),
+		stats.HigherDimCoverageParallel(5, 3, workers),
+		stats.HigherDimCoverageParallel(5, 4, workers),
+		stats.HigherDimCoverageParallel(6, 3, workers),
 	}
 	fmt.Print(stats.FormatHigherDim(rows))
 	fmt.Println("paper conjectures a majority; the grouping predicate covers far more than half")

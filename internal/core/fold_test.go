@@ -81,10 +81,11 @@ func TestUnfoldPanicsOnMismatch(t *testing.T) {
 }
 
 func TestPlanByFoldingDepthGuard(t *testing.T) {
-	if p := planByFolding(mesh.Shape{3, 21}, DefaultOptions, 1); p != nil {
+	pc := newPlanContext(DefaultOptions, nil, false)
+	if p := pc.planByFolding(mesh.Shape{3, 21}, 1); p != nil {
 		t.Error("fold at depth 1 should be blocked")
 	}
-	if p := planByFolding(mesh.Shape{3, 21}, DefaultOptions, 0); p == nil {
+	if p := pc.planByFolding(mesh.Shape{3, 21}, 0); p == nil {
 		t.Error("fold at depth 0 should find the 3x3x7 lift")
 	}
 }

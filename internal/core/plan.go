@@ -10,7 +10,6 @@ import (
 	"repro/internal/embed"
 	"repro/internal/gray"
 	"repro/internal/mesh"
-	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -50,6 +49,9 @@ func (k Kind) String() string {
 // DilationUnknown marks constructions with no a-priori dilation bound.
 const DilationUnknown = 1 << 20
 
+// CongestionUnknown marks constructions with no a-priori congestion bound.
+const CongestionUnknown = 1 << 20
+
 // Plan is a construction tree for an embedding.  Build realizes it.
 type Plan struct {
 	Kind    Kind
@@ -85,6 +87,46 @@ func (p *Plan) Minimal() bool { return p.CubeDim == p.Shape.MinCubeDim() }
 // (1 when minimal).
 func (p *Plan) RelExpansion() float64 {
 	return float64(uint64(1)<<uint(p.CubeDim)) / float64(bits.CeilPow2(uint64(p.Shape.Nodes())))
+}
+
+// Depth returns the height of the plan tree; leaves have depth one.
+func (p *Plan) Depth() int {
+	d := 0
+	for _, f := range p.Factors {
+		d = max(d, f.Depth())
+	}
+	if p.Child != nil {
+		d = max(d, p.Child.Depth())
+	}
+	return d + 1
+}
+
+// CongestionBound returns the congestion guaranteed by the construction
+// rules (Theorem 3 propagates the maximum across product factors), or
+// CongestionUnknown for the snake fallback.
+func (p *Plan) CongestionBound() int {
+	switch p.Kind {
+	case KindGray:
+		return 1
+	case KindDirect:
+		if tab, _, ok := direct.Lookup(p.Shape); ok {
+			return tab.Congestion
+		}
+		return CongestionUnknown
+	case KindProduct:
+		c := 1
+		for _, f := range p.Factors {
+			c = max(c, f.CongestionBound())
+		}
+		return c
+	case KindSubMesh, KindFold:
+		return p.Child.CongestionBound()
+	case KindSolver:
+		if p.solved != nil {
+			return p.solved.Congestion()
+		}
+	}
+	return CongestionUnknown
 }
 
 // String renders the plan tree on one line.
@@ -200,6 +242,12 @@ func SnakeOrder(s mesh.Shape) []int {
 	return out
 }
 
+// snakePlan wraps a shape in the always-valid snake fallback node.
+func snakePlan(s mesh.Shape) *Plan {
+	return &Plan{Kind: KindSnake, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
+		Dilation: DilationUnknown}
+}
+
 // Options tunes the planner.
 type Options struct {
 	// SolverBudget enables a solver search for shapes with at most this
@@ -208,6 +256,9 @@ type Options struct {
 	SolverBudget int
 	// SolverSeed seeds the optional solver search.
 	SolverSeed int64
+	// Cost ranks competing candidate plans; nil uses DefaultCostModel.
+	// See CostModel and NewLexCost for the available knobs.
+	Cost CostModel
 }
 
 // DefaultOptions enables a small solver budget: shapes up to 36 nodes are
@@ -220,14 +271,24 @@ var DefaultOptions = Options{SolverBudget: 36, SolverSeed: 1}
 // (method 3), axis-extension decomposition (method 4), and the solver/snake
 // fallbacks (method 5, beyond the paper).  The returned plan always embeds
 // into the minimal cube.
+//
+// PlanShape plans the shape in its given axis order with no memoization;
+// sweeps that re-plan many (sub-)shapes should use a Planner, which adds a
+// canonical-shape cache on top of the same strategy pipelines.
 func PlanShape(s mesh.Shape, opts Options) *Plan {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
-	best := planMinimal(s, opts)
+	return newPlanContext(opts, nil, false).planTop(s)
+}
+
+// planTop runs the full pipeline for a top-level request: structured
+// strategies, snake fallback, and method classification.
+func (pc *planContext) planTop(s mesh.Shape) *Plan {
+	best := pc.planMinimalDepth(s, 0)
 	if best == nil {
-		best = &Plan{Kind: KindSnake, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
-			Dilation: DilationUnknown, Method: 5}
+		best = snakePlan(s)
+		best.Method = 5
 	}
 	if best.Method == 0 {
 		best.Method = classifyMethod(s, best)
@@ -254,377 +315,4 @@ func classifyMethod(s mesh.Shape, p *Plan) int {
 		}
 	}
 	return 5
-}
-
-// planMinimal returns the best structured minimal-expansion plan, or nil.
-func planMinimal(s mesh.Shape, opts Options) *Plan {
-	return planMinimalDepth(s, opts, 0)
-}
-
-// planMinimalDepth is planMinimal with the axis-folding recursion depth
-// threaded through (folding may nest only once).
-func planMinimalDepth(s mesh.Shape, opts Options, foldDepth int) *Plan {
-	// Method 1: Gray code.
-	if s.GrayMinimal() {
-		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
-			Dilation: 1, Method: 1}
-	}
-	// Reduce axes of length 1: they change nothing structurally but let
-	// the 2D/3D machinery below see the true dimensionality.
-	active := 0
-	for _, l := range s {
-		if l > 1 {
-			active++
-		}
-	}
-	switch active {
-	case 0, 1:
-		// A line: Gray is minimal for a single axis, so GrayMinimal would
-		// have caught it.  (Unreachable, kept for safety.)
-		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.GrayCubeDim(),
-			Dilation: 1, Method: 1}
-	case 2:
-		return plan2D(s, opts, foldDepth)
-	case 3:
-		return plan3D(s, opts, foldDepth)
-	default:
-		return planHighDim(s, opts)
-	}
-}
-
-// better returns the preferred of two plans (either may be nil): lower
-// guaranteed dilation wins; products with fewer factors break ties.
-func better(a, b *Plan) *Plan {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	if a.Dilation != b.Dilation {
-		if a.Dilation < b.Dilation {
-			return a
-		}
-		return b
-	}
-	if len(a.Factors) <= len(b.Factors) {
-		return a
-	}
-	return b
-}
-
-// shapeWithAxis returns a k-dim shape that is 1 everywhere except the given
-// axis positions.
-func shapeWithAxes(k int, axes []int, lengths []int) mesh.Shape {
-	out := make(mesh.Shape, k)
-	for i := range out {
-		out[i] = 1
-	}
-	for i, a := range axes {
-		out[a] = lengths[i]
-	}
-	return out
-}
-
-// plan2D plans a shape with exactly two axes of length > 1 into its minimal
-// cube.  Returns nil if no structured construction applies.
-func plan2D(s mesh.Shape, opts Options, foldDepth int) *Plan {
-	target := s.MinCubeDim()
-
-	// Direct table, possibly with permutation / padding.
-	if tab, _, ok := direct.Lookup(s); ok {
-		return &Plan{Kind: KindDirect, Shape: s.Clone(), CubeDim: tab.Shape.MinCubeDim(),
-			Dilation: tab.Dilation, Method: 2}
-	}
-
-	// Decomposition over the direct tables: s = direct ∘ residual, residual
-	// planned recursively (Gray or a further decomposition).
-	var best *Plan
-	if p := planByFactoring(s, opts, 0); p != nil && p.CubeDim == target {
-		best = better(best, p)
-	}
-
-	// Extension: embed a slightly larger mesh that decomposes, then take
-	// the submesh (strategy step 3).  Grow one axis while the minimal cube
-	// stays put.
-	if p := planByExtension(s, opts); p != nil {
-		best = better(best, p)
-	}
-
-	// Two-dimensional split (the 2D analogue of method 4): write one axis
-	// as ℓ'·ℓ'' ≥ ℓ with ⌈ℓother·ℓ'⌉₂·⌈ℓ''⌉₂ == ⌈|V|⌉₂, embed the
-	// (ℓother × ℓ') factor recursively and ℓ'' by a Gray code.
-	if best == nil || best.Dilation > 2 {
-		if p := planBy2DSplit(s, opts); p != nil {
-			best = better(best, p)
-		}
-	}
-
-	// Axis folding: ℓ = a·b refolds the mesh into three dimensions, where
-	// the direct 3-D tables may apply (e.g. 3x21 onto 3x3x7).
-	if best == nil || best.Dilation > 2 {
-		if p := planByFolding(s, opts, foldDepth); p != nil {
-			best = better(best, p)
-		}
-	}
-
-	if best != nil {
-		return best
-	}
-
-	// Solver fallback for small shapes.
-	if p := planBySolver(s, opts); p != nil {
-		return p
-	}
-	return nil
-}
-
-// planBy2DSplit splits one axis of a two-active-axis shape as ℓ'·ℓ” and
-// embeds (ℓa × ℓ') ⊗ Gray(ℓ”), restricting to the guest at the end.
-// Example: 5x6 = (5x3) ⊗ (1x2) — the 3x5 direct table lifts to a
-// dilation-two minimal-expansion embedding of 5x6.
-func planBy2DSplit(s mesh.Shape, opts Options) *Plan {
-	axes := activeAxes(s)
-	if len(axes) != 2 {
-		return nil
-	}
-	target := s.MinCubeDim()
-	total := uint64(1) << uint(target)
-	k := s.Dims()
-	var best *Plan
-	for t := 0; t < 2; t++ {
-		m, a := axes[t], axes[1-t]
-		lm, la := s[m], s[a]
-		for p := 0; p <= target; p++ {
-			P := uint64(1) << uint(p)
-			Q := total / P
-			lpMax := int(P) / la
-			if lpMax < 1 || Q < 1 {
-				continue
-			}
-			// ℓ'' is a Gray factor: ⌈ℓ''⌉₂ == Q means ℓ'' ∈ (Q/2, Q].
-			lppMax := int(Q)
-			if lpMax*lppMax < lm {
-				continue
-			}
-			lpp := (lm + lpMax - 1) / lpMax
-			if lo := int(Q/2) + 1; lpp < lo {
-				lpp = lo
-			}
-			if lpp > lppMax {
-				continue
-			}
-			lp := (lm + lpp - 1) / lpp
-			if lo := int(P/2)/la + 1; lp < lo {
-				lp = lo
-			}
-			if lp > lpMax || lp*lpp < lm {
-				lp = lpMax
-			}
-			if bits.CeilPow2(uint64(la*lp))*bits.CeilPow2(uint64(lpp)) != total {
-				continue
-			}
-			if lp == lm && lpp == 1 {
-				continue // degenerate: no actual split
-			}
-			f1Shape := shapeWithAxes(k, []int{a, m}, []int{la, lp})
-			var f1 *Plan
-			if f1Shape.GrayMinimal() {
-				f1 = &Plan{Kind: KindGray, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 1}
-			} else if _, _, ok := direct.Lookup(f1Shape); ok {
-				f1 = &Plan{Kind: KindDirect, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 2}
-			} else if p := planByFactoring(f1Shape, opts, 2); p != nil {
-				f1 = p
-			} else if p := planBySolver(f1Shape, opts); p != nil {
-				f1 = p
-			} else {
-				continue
-			}
-			f2Shape := shapeWithAxes(k, []int{m}, []int{lpp})
-			f2 := &Plan{Kind: KindGray, Shape: f2Shape,
-				CubeDim: bits.CeilLog2(uint64(lpp)), Dilation: 1}
-			if f1.CubeDim+f2.CubeDim != target {
-				continue
-			}
-			super := f1Shape.Product(f2Shape)
-			prod := &Plan{Kind: KindProduct, Shape: super, CubeDim: target,
-				Dilation: maxInt(f1.Dilation, 1), Factors: []*Plan{f1, f2}}
-			var cand *Plan
-			if super.Equal(s) {
-				cand = prod
-			} else {
-				cand = &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
-					Dilation: prod.Dilation, Super: super, Child: prod}
-			}
-			best = better(best, cand)
-			if best.Dilation <= 2 {
-				return best
-			}
-		}
-	}
-	return best
-}
-
-// planByFactoring searches decompositions s = t ∘ r where t matches a
-// direct table and r is planned recursively.  depth caps the recursion.
-func planByFactoring(s mesh.Shape, opts Options, depth int) *Plan {
-	if depth > 3 {
-		return nil
-	}
-	target := s.MinCubeDim()
-	var best *Plan
-	k := s.Dims()
-	for _, tab := range direct.Tables {
-		// The table's axes of length > 1, to be injected into s's axes.
-		var tl []int
-		for _, l := range tab.Shape {
-			if l > 1 {
-				tl = append(tl, l)
-			}
-		}
-		perms := axisInjections(tab.Shape, s)
-		for _, axes := range perms {
-			residual := s.Clone()
-			tshape := shapeWithAxes(k, axes, tl)
-			ok := true
-			for i := range s {
-				if s[i]%tshape[i] != 0 {
-					ok = false
-					break
-				}
-				residual[i] = s[i] / tshape[i]
-			}
-			if !ok {
-				continue
-			}
-			tdim := tab.Shape.MinCubeDim()
-			rdim := target - tdim
-			if rdim < 0 || bits.CeilLog2(uint64(residual.Nodes())) > rdim {
-				continue // residual cannot fit the remaining dimensions
-			}
-			var rplan *Plan
-			if residual.GrayCubeDim() == rdim {
-				rplan = &Plan{Kind: KindGray, Shape: residual, CubeDim: rdim, Dilation: 1}
-			} else if residual.MinCubeDim() == rdim {
-				rplan = planByFactoring(residual, opts, depth+1)
-				if rplan == nil {
-					if p := planBySolver(residual, opts); p != nil && p.CubeDim == rdim {
-						rplan = p
-					}
-				}
-			}
-			if rplan == nil || rplan.CubeDim != rdim {
-				continue
-			}
-			dplan := &Plan{Kind: KindDirect, Shape: tshape, CubeDim: tdim, Dilation: tab.Dilation}
-			prod := &Plan{
-				Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
-				Dilation: maxInt(dplan.Dilation, rplan.Dilation),
-				Factors:  []*Plan{dplan, rplan},
-			}
-			best = better(best, prod)
-		}
-	}
-	return best
-}
-
-// axisInjections lists the ways to assign the axes of t (all of length >1)
-// to distinct axes of s.  Axes of t equal to 1 are dropped.
-func axisInjections(t, s mesh.Shape) [][]int {
-	var tl []int
-	for _, l := range t {
-		if l > 1 {
-			tl = append(tl, l)
-		}
-	}
-	var out [][]int
-	used := make([]bool, s.Dims())
-	cur := make([]int, len(tl))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(tl) {
-			cp := make([]int, len(cur))
-			copy(cp, cur)
-			out = append(out, cp)
-			return
-		}
-		for j := 0; j < s.Dims(); j++ {
-			if !used[j] && s[j]%tl[i] == 0 {
-				used[j] = true
-				cur[i] = j
-				rec(i + 1)
-				used[j] = false
-			}
-		}
-	}
-	rec(0)
-	// Re-express lengths: caller zips axes with t's >1 lengths.
-	return out
-}
-
-// planByExtension grows one axis of s while ⌈|V|⌉₂ is unchanged and plans
-// the grown shape by factoring; the result is wrapped in a SubMesh node.
-func planByExtension(s mesh.Shape, opts Options) *Plan {
-	target := s.MinCubeDim()
-	total := uint64(1) << uint(target)
-	var best *Plan
-	for i := range s {
-		rest := 1
-		for j := range s {
-			if j != i {
-				rest *= s[j]
-			}
-		}
-		maxLen := int(total) / rest
-		for l := s[i] + 1; l <= maxLen; l++ {
-			grown := s.Clone()
-			grown[i] = l
-			if grown.MinCubeDim() != target {
-				break
-			}
-			if grown.GrayMinimal() {
-				child := &Plan{Kind: KindGray, Shape: grown, CubeDim: target, Dilation: 1}
-				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
-					Dilation: 1, Super: grown, Child: child}
-				best = better(best, sub)
-				continue
-			}
-			if _, _, ok := direct.Lookup(grown); ok {
-				child := &Plan{Kind: KindDirect, Shape: grown, CubeDim: target, Dilation: 2}
-				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
-					Dilation: 2, Super: grown, Child: child}
-				best = better(best, sub)
-				continue
-			}
-			if p := planByFactoring(grown, opts, 1); p != nil && p.CubeDim == target {
-				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
-					Dilation: p.Dilation, Super: grown, Child: p}
-				best = better(best, sub)
-			}
-		}
-	}
-	return best
-}
-
-// planBySolver runs the deterministic solver when the shape is within the
-// configured budget.
-func planBySolver(s mesh.Shape, opts Options) *Plan {
-	if opts.SolverBudget <= 0 || s.Nodes() > opts.SolverBudget {
-		return nil
-	}
-	e := solver.Find(s, solver.Options{MaxDilation: 2, Seed: opts.SolverSeed,
-		Restarts: 6, Iterations: 150_000})
-	if e == nil {
-		return nil
-	}
-	e.RealizeMinCongestion()
-	return &Plan{Kind: KindSolver, Shape: s.Clone(), CubeDim: e.N,
-		Dilation: e.Dilation(), Method: 5, solved: e}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+)
+
+// permutationsOf enumerates all axis orders of 0..k-1.
+func permutationsOf(k int) [][]int {
+	var out [][]int
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for j := 0; j < k; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+func allDistinct(s mesh.Shape) bool {
+	seen := map[int]bool{}
+	for _, l := range s {
+		if seen[l] {
+			return false
+		}
+		seen[l] = true
+	}
+	return true
+}
+
+// TestPlannerDeterministic: planning the same shape twice — in the same
+// planner and in a fresh one — yields identical plan trees.
+func TestPlannerDeterministic(t *testing.T) {
+	shapes := []mesh.Shape{{12, 20}, {3, 21}, {5, 6, 7}, {21, 9, 5}, {6, 11, 7},
+		{5, 5, 5}, {2, 3, 4, 5}, {13, 17}}
+	for _, s := range shapes {
+		pl := NewPlanner(DefaultOptions)
+		first := pl.Plan(s)
+		again := pl.Plan(s)
+		fresh := NewPlanner(DefaultOptions).Plan(s)
+		for _, p := range []*Plan{again, fresh} {
+			if p.String() != first.String() || p.Dilation != first.Dilation ||
+				p.Method != first.Method || p.CubeDim != first.CubeDim {
+				t.Errorf("%v: replanning diverged: %s (dil %d) vs %s (dil %d)",
+					s, first, first.Dilation, p, p.Dilation)
+			}
+		}
+	}
+}
+
+// TestPlannerPermutationInvariant: planning under permuted axis order gives
+// the axis-permuted plan tree.  For shapes with all-distinct axis lengths
+// the permuted tree must match permutePlan of the base plan exactly; for
+// any shape, structural invariants and measured metrics must agree.
+func TestPlannerPermutationInvariant(t *testing.T) {
+	shapes := []mesh.Shape{{12, 20}, {3, 21}, {5, 6, 7}, {21, 9, 5}, {5, 5, 10}, {2, 3, 4}}
+	for _, s := range shapes {
+		base := NewPlanner(DefaultOptions).Plan(s)
+		baseMetrics := base.Build().Measure()
+		for _, perm := range permutationsOf(len(s)) {
+			ps := make(mesh.Shape, len(s))
+			axmap := make([]int, len(s)) // s-axis j sits at ps position axmap[j]
+			for i, j := range perm {
+				ps[i] = s[j]
+				axmap[j] = i
+			}
+			got := NewPlanner(DefaultOptions).Plan(ps)
+			if got.Dilation != base.Dilation || got.CubeDim != base.CubeDim ||
+				got.Kind != base.Kind || got.Method != base.Method {
+				t.Errorf("%v perm %v: invariants diverged: got %s (dil %d, method %d), base %s (dil %d, method %d)",
+					s, perm, got, got.Dilation, got.Method, base, base.Dilation, base.Method)
+				continue
+			}
+			if allDistinct(s) {
+				want := permutePlan(base, axmap)
+				want.Method = base.Method
+				if got.String() != want.String() {
+					t.Errorf("%v perm %v: plan tree %s, want permuted %s", s, perm, got, want)
+				}
+			}
+			e := got.Build()
+			if err := e.Verify(); err != nil {
+				t.Fatalf("%v perm %v: invalid embedding: %v", s, perm, err)
+			}
+			// Fine-grained path metrics (congestion, average dilation) may
+			// legitimately vary with which table axis a guest axis lands
+			// on; the construction guarantees are what must be invariant.
+			m := e.Measure()
+			if m.CubeDim != baseMetrics.CubeDim || m.Minimal != baseMetrics.Minimal {
+				t.Errorf("%v perm %v: cube diverged: %+v vs %+v", s, perm, m, baseMetrics)
+			}
+			if got.Dilation != DilationUnknown && m.Dilation > got.Dilation {
+				t.Errorf("%v perm %v: measured dilation %d exceeds promised %d",
+					s, perm, m.Dilation, got.Dilation)
+			}
+		}
+	}
+}
+
+// TestCachedMatchesUncachedQuick: property test that cached and
+// cache-bypassed planning agree on the plan tree and produce
+// metric-identical embeddings across random shapes.
+func TestCachedMatchesUncachedQuick(t *testing.T) {
+	cached := NewPlanner(DefaultOptions)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := r.Intn(4) + 1
+		s := make(mesh.Shape, dims)
+		nodes := 1
+		for i := range s {
+			s[i] = r.Intn(12) + 1
+			nodes *= s[i]
+		}
+		if nodes > 1500 {
+			return true // keep the property cheap
+		}
+		pc := cached.Plan(s)
+		pu := NewUncachedPlanner(DefaultOptions).Plan(s)
+		if pc.String() != pu.String() || pc.Dilation != pu.Dilation || pc.Method != pu.Method {
+			t.Logf("%v: cached %s (dil %d) vs uncached %s (dil %d)",
+				s, pc, pc.Dilation, pu, pu.Dilation)
+			return false
+		}
+		ec, eu := pc.Build(), pu.Build()
+		if ec.Verify() != nil || eu.Verify() != nil {
+			return false
+		}
+		mc, mu := ec.Measure(), eu.Measure()
+		if mc != mu {
+			t.Logf("%v: metrics %+v vs %+v", s, mc, mu)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlannerConcurrentShared drives one shared Planner from many
+// goroutines over overlapping shape sets (exercised under -race by the
+// Makefile's check target) and cross-checks every plan against a serial
+// uncached reference.
+func TestPlannerConcurrentShared(t *testing.T) {
+	shapes := []mesh.Shape{
+		{3, 5}, {5, 3}, {5, 6}, {6, 5}, {12, 20}, {20, 12}, {3, 21}, {21, 3},
+		{5, 6, 7}, {7, 6, 5}, {3, 3, 7}, {7, 3, 3}, {2, 3, 4, 5}, {5, 4, 3, 2},
+	}
+	reference := make(map[string]string, len(shapes))
+	for _, s := range shapes {
+		reference[s.String()] = NewUncachedPlanner(DefaultOptions).Plan(s).String()
+	}
+	pl := NewPlanner(DefaultOptions)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range shapes {
+				s := shapes[(i+g)%len(shapes)]
+				p := pl.Plan(s)
+				if got, want := p.String(), reference[s.String()]; got != want {
+					t.Errorf("goroutine %d: %v planned %s, want %s", g, s, got, want)
+				}
+				if err := p.Build().Verify(); err != nil {
+					t.Errorf("goroutine %d: %v: %v", g, s, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pl.CacheStats()
+	if st.Size == 0 || st.Hits == 0 {
+		t.Errorf("shared planner cache unused: %+v", st)
+	}
+}
+
+// TestCacheCounters: permuted replans are pure cache hits.
+func TestCacheCounters(t *testing.T) {
+	pl := NewPlanner(DefaultOptions)
+	if st := pl.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("fresh planner has counters: %+v", st)
+	}
+	pl.Plan(mesh.Shape{5, 6, 7})
+	st1 := pl.CacheStats()
+	if st1.Misses == 0 || st1.Size == 0 {
+		t.Fatalf("first plan should miss and populate: %+v", st1)
+	}
+	pl.Plan(mesh.Shape{7, 6, 5})
+	st2 := pl.CacheStats()
+	if st2.Hits == 0 {
+		t.Errorf("permuted replan should hit: %+v", st2)
+	}
+	if st2.Misses != st1.Misses || st2.Size != st1.Size {
+		t.Errorf("permuted replan should add no entries: %+v -> %+v", st1, st2)
+	}
+	if uncached := NewUncachedPlanner(DefaultOptions); uncached.CacheStats() != (CacheStats{}) {
+		t.Error("uncached planner reports cache state")
+	}
+}
+
+// highDilationCost inverts the dilation preference — a deliberately bad
+// model proving Options.Cost actually steers selection while plans stay
+// valid and minimal.
+type highDilationCost struct{}
+
+func (highDilationCost) Name() string { return "high-dilation" }
+func (highDilationCost) Compare(a, b *Plan) int {
+	if a.CubeDim != b.CubeDim {
+		return a.CubeDim - b.CubeDim
+	}
+	return b.Dilation - a.Dilation
+}
+
+func TestCostModelInjectable(t *testing.T) {
+	opts := DefaultOptions
+	opts.Cost = highDilationCost{}
+	for _, s := range []mesh.Shape{{12, 20}, {5, 6, 7}, {3, 21}} {
+		p := PlanShape(s, opts)
+		if !p.Minimal() {
+			t.Errorf("%v: custom cost model broke minimality", s)
+		}
+		if err := p.Build().Verify(); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+		pl := NewPlanner(opts)
+		if q := pl.Plan(s); !q.Minimal() {
+			t.Errorf("%v: planner with custom cost model broke minimality", s)
+		}
+	}
+	// A reordered lexicographic model is also accepted.
+	opts.Cost = NewLexCost(CostExpansion, CostDilation, CostDepth, CostFactors, CostCongestion)
+	if p := PlanShape(mesh.Shape{5, 6, 7}, opts); p.Dilation > 2 {
+		t.Errorf("reordered lex model lost the dilation-2 plan: %s", p)
+	}
+}
+
+// TestCostModelTotalOrder: better() is a strict total order — antisymmetric
+// on distinct plans regardless of argument order.
+func TestCostModelTotalOrder(t *testing.T) {
+	pc := newPlanContext(DefaultOptions, nil, false)
+	var plans []*Plan
+	for _, s := range []mesh.Shape{{12, 20}, {5, 6}, {3, 21}, {7, 9}} {
+		plans = append(plans, PlanShape(s, DefaultOptions))
+	}
+	for _, a := range plans {
+		for _, b := range plans {
+			ab, ba := pc.better(a, b), pc.better(b, a)
+			if a.String() != b.String() && ab != ba {
+				t.Errorf("better not antisymmetric on %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestRegistryStrategyNames(t *testing.T) {
+	names := NewDefaultRegistry().StrategyNames()
+	want := map[string]bool{"direct": true, "factor": true, "extend": true,
+		"split2d": true, "fold": true, "solver": true, "pair+gray": true,
+		"split3d": true, "highdim": true}
+	got := map[string]bool{}
+	for _, n := range names {
+		if got[n] {
+			t.Errorf("duplicate strategy name %q", n)
+		}
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("registry missing strategy %q (have %v)", n, names)
+		}
+	}
+}
+
+// TestCanonicalShape: axmap round-trips shapes through permuteShape.
+func TestCanonicalShape(t *testing.T) {
+	for _, s := range []mesh.Shape{{5, 3}, {7, 9, 2}, {5, 5, 10}, {1, 4, 1, 3}} {
+		canon, axmap := canonicalShape(s)
+		for j := 1; j < len(canon); j++ {
+			if canon[j-1] > canon[j] {
+				t.Fatalf("%v: canonical %v not sorted", s, canon)
+			}
+		}
+		if back := permuteShape(canon, axmap); !back.Equal(s) {
+			t.Errorf("%v: permuteShape(canonicalShape) = %v", s, back)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Strategy is one named plan construction.  A strategy inspects a shape and
+// either returns a candidate minimal-expansion plan or nil; the pipeline
+// runner merges candidates under the context's cost model.  Strategies are
+// stateless — all tuning travels in the planContext.
+type Strategy interface {
+	// Name identifies the strategy in registries and diagnostics.
+	Name() string
+	// Search returns a candidate plan for the shape or nil.  foldDepth
+	// counts fold nodes already above this subtree (at most one fold per
+	// plan tree keeps the reflection argument of §3.3 valid).
+	Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan
+}
+
+// stage wires a Strategy into a pipeline with optional gates replicating
+// the planner's historical short-circuits:
+//
+//   - skip: don't run this strategy given the current best (e.g. the split
+//     and fold searches only run while no dilation-2 plan is in hand);
+//   - stop: stop the whole pipeline after this strategy (e.g. a direct
+//     table hit is final).
+type stage struct {
+	strat Strategy
+	skip  func(best *Plan) bool
+	stop  func(best *Plan) bool
+}
+
+func whenFound(best *Plan) bool   { return best != nil }
+func whenSettled(best *Plan) bool { return best != nil && best.Dilation <= 2 }
+
+// Registry holds the ordered strategy pipelines, one per active-axis class.
+// The default registry encodes the paper's method preferences; tests build
+// variants to ablate individual strategies.
+type Registry struct {
+	twoD   []stage // exactly two axes of length > 1
+	threeD []stage // exactly three axes of length > 1
+	highD  []stage // four or more axes of length > 1
+}
+
+// NewDefaultRegistry returns the standard strategy pipelines.
+func NewDefaultRegistry() *Registry {
+	return &Registry{
+		twoD: []stage{
+			{strat: DirectStrategy{}, stop: whenFound},
+			{strat: FactorStrategy{}},
+			{strat: ExtendStrategy{}},
+			{strat: Split2DStrategy{}, skip: whenSettled},
+			{strat: FoldStrategy{}, skip: whenSettled},
+			{strat: SolverStrategy{}, skip: whenFound},
+		},
+		threeD: []stage{
+			{strat: PairGrayStrategy{}},
+			{strat: FactorStrategy{}, stop: whenSettled},
+			{strat: Split3DStrategy{}},
+			{strat: ExtendStrategy{}},
+			{strat: FoldStrategy{}, skip: whenSettled},
+			{strat: SolverStrategy{}, skip: whenFound},
+		},
+		highD: []stage{
+			{strat: HighDimStrategy{}},
+		},
+	}
+}
+
+// StrategyNames lists the distinct strategies across all pipelines in
+// pipeline order (twoD, threeD, highD), without duplicates.
+func (r *Registry) StrategyNames() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, pipe := range [][]stage{r.twoD, r.threeD, r.highD} {
+		for _, st := range pipe {
+			if n := st.strat.Name(); !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+var defaultRegistry = NewDefaultRegistry()
+
+// planContext carries one planning run's configuration: options, resolved
+// cost model, strategy registry, and (for Planner) the shared plan cache.
+// A context is immutable after construction and safe for concurrent use.
+type planContext struct {
+	opts  Options
+	cost  CostModel
+	reg   *Registry
+	cache *planCache // nil: no memoization
+	canon bool       // canonicalize axis order before searching
+	fp    string     // options fingerprint, part of every cache key
+}
+
+func newPlanContext(opts Options, cache *planCache, canon bool) *planContext {
+	cost := opts.Cost
+	if cost == nil {
+		cost = DefaultCostModel
+	}
+	return &planContext{
+		opts:  opts,
+		cost:  cost,
+		reg:   defaultRegistry,
+		cache: cache,
+		canon: canon,
+		fp:    fmt.Sprintf("b%d.s%d.%s", opts.SolverBudget, opts.SolverSeed, cost.Name()),
+	}
+}
+
+// planMinimalDepth returns the best structured minimal-expansion plan for
+// the shape, or nil if every strategy fails.  It is the recursion point for
+// strategies planning sub-shapes, so canonicalization and caching apply at
+// every level of the tree.
+func (pc *planContext) planMinimalDepth(s mesh.Shape, foldDepth int) *Plan {
+	if pc.canon {
+		return pc.planCanonical(s, foldDepth)
+	}
+	return pc.planDispatch(s, foldDepth)
+}
+
+// planDispatch routes a shape to the pipeline for its active-axis count.
+func (pc *planContext) planDispatch(s mesh.Shape, foldDepth int) *Plan {
+	if s.GrayMinimal() {
+		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
+			Dilation: 1, Method: 1}
+	}
+	switch len(activeAxes(s)) {
+	case 0, 1:
+		// A path (or point) is always Gray-minimal; defensive.
+		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.GrayCubeDim(),
+			Dilation: 1, Method: 1}
+	case 2:
+		return pc.runPipeline(pc.reg.twoD, s, foldDepth)
+	case 3:
+		return pc.runPipeline(pc.reg.threeD, s, foldDepth)
+	default:
+		return pc.runPipeline(pc.reg.highD, s, foldDepth)
+	}
+}
+
+// runPipeline folds the stages' candidates under the cost model, honoring
+// the per-stage skip/stop gates.
+func (pc *planContext) runPipeline(stages []stage, s mesh.Shape, foldDepth int) *Plan {
+	var best *Plan
+	for _, st := range stages {
+		if st.skip != nil && st.skip(best) {
+			continue
+		}
+		if cand := st.strat.Search(pc, s, foldDepth); cand != nil {
+			best = pc.better(best, cand)
+		}
+		if st.stop != nil && st.stop(best) {
+			break
+		}
+	}
+	return best
+}
+
+// planMinimalOrSnake never fails: structured plan if possible, else snake.
+func (pc *planContext) planMinimalOrSnake(s mesh.Shape, foldDepth int) *Plan {
+	if p := pc.planMinimalDepth(s, foldDepth); p != nil {
+		return p
+	}
+	return snakePlan(s)
+}
+
+// activeAxes returns the indices of axes with length > 1.
+func activeAxes(s mesh.Shape) []int {
+	var out []int
+	for i, l := range s {
+		if l > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// shapeWithAxes builds a k-dim shape with the given lengths on the given
+// axes and 1 elsewhere.
+func shapeWithAxes(k int, axes []int, lengths []int) mesh.Shape {
+	s := make(mesh.Shape, k)
+	for i := range s {
+		s[i] = 1
+	}
+	for i, ax := range axes {
+		s[ax] = lengths[i]
+	}
+	return s
+}

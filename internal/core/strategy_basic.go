@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/direct"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+// DirectStrategy matches the frozen direct tables (§3.3), possibly after
+// axis permutation and padding (handled by direct.Lookup).  A hit is final:
+// the registry stops the two-axis pipeline on it.
+type DirectStrategy struct{}
+
+func (DirectStrategy) Name() string { return "direct" }
+
+func (DirectStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
+	tab, _, ok := direct.Lookup(s)
+	if !ok {
+		return nil
+	}
+	return &Plan{Kind: KindDirect, Shape: s.Clone(), CubeDim: tab.Shape.MinCubeDim(),
+		Dilation: tab.Dilation, Method: 2}
+}
+
+// SolverStrategy runs the deterministic annealing solver on shapes within
+// the configured node budget.  Last resort: the registry skips it whenever
+// a structured plan exists.
+type SolverStrategy struct{}
+
+func (SolverStrategy) Name() string { return "solver" }
+
+func (SolverStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
+	return pc.planBySolver(s)
+}
+
+// planBySolver runs the deterministic solver when the shape is within the
+// configured budget.
+func (pc *planContext) planBySolver(s mesh.Shape) *Plan {
+	if pc.opts.SolverBudget <= 0 || s.Nodes() > pc.opts.SolverBudget {
+		return nil
+	}
+	e := solver.Find(s, solver.Options{MaxDilation: 2, Seed: pc.opts.SolverSeed,
+		Restarts: 6, Iterations: 150_000})
+	if e == nil {
+		return nil
+	}
+	e.RealizeMinCongestion()
+	return &Plan{Kind: KindSolver, Shape: s.Clone(), CubeDim: e.N,
+		Dilation: e.Dilation(), Method: 5, solved: e}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/direct"
+	"repro/internal/mesh"
+)
+
+// FactorStrategy decomposes s = t ∘ r where t matches a direct table and
+// the residual r is planned recursively (Gray, deeper factoring, or the
+// solver) — the paper's method 3 generalized to richer decompositions.
+type FactorStrategy struct{}
+
+func (FactorStrategy) Name() string { return "factor" }
+
+func (FactorStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
+	return pc.planByFactoring(s, 0)
+}
+
+// planByFactoring searches decompositions s = t ∘ r where t matches a
+// direct table and r is planned recursively.  depth caps the recursion.
+func (pc *planContext) planByFactoring(s mesh.Shape, depth int) *Plan {
+	if depth > 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	var best *Plan
+	k := s.Dims()
+	for _, tab := range direct.Tables {
+		// The table's axes of length > 1, to be injected into s's axes.
+		var tl []int
+		for _, l := range tab.Shape {
+			if l > 1 {
+				tl = append(tl, l)
+			}
+		}
+		perms := axisInjections(tab.Shape, s)
+		for _, axes := range perms {
+			residual := s.Clone()
+			tshape := shapeWithAxes(k, axes, tl)
+			ok := true
+			for i := range s {
+				if s[i]%tshape[i] != 0 {
+					ok = false
+					break
+				}
+				residual[i] = s[i] / tshape[i]
+			}
+			if !ok {
+				continue
+			}
+			tdim := tab.Shape.MinCubeDim()
+			rdim := target - tdim
+			if rdim < 0 || bits.CeilLog2(uint64(residual.Nodes())) > rdim {
+				continue // residual cannot fit the remaining dimensions
+			}
+			var rplan *Plan
+			if residual.GrayCubeDim() == rdim {
+				rplan = &Plan{Kind: KindGray, Shape: residual, CubeDim: rdim, Dilation: 1}
+			} else if residual.MinCubeDim() == rdim {
+				rplan = pc.planByFactoring(residual, depth+1)
+				if rplan == nil {
+					if p := pc.planBySolver(residual); p != nil && p.CubeDim == rdim {
+						rplan = p
+					}
+				}
+			}
+			if rplan == nil || rplan.CubeDim != rdim {
+				continue
+			}
+			dplan := &Plan{Kind: KindDirect, Shape: tshape, CubeDim: tdim, Dilation: tab.Dilation}
+			prod := &Plan{
+				Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
+				Dilation: max(dplan.Dilation, rplan.Dilation),
+				Factors:  []*Plan{dplan, rplan},
+			}
+			best = pc.better(best, prod)
+		}
+	}
+	return best
+}
+
+// axisInjections lists the ways to assign the axes of t (all of length >1)
+// to distinct axes of s.  Axes of t equal to 1 are dropped.
+func axisInjections(t, s mesh.Shape) [][]int {
+	var tl []int
+	for _, l := range t {
+		if l > 1 {
+			tl = append(tl, l)
+		}
+	}
+	var out [][]int
+	used := make([]bool, s.Dims())
+	cur := make([]int, len(tl))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(tl) {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for j := 0; j < s.Dims(); j++ {
+			if !used[j] && s[j]%tl[i] == 0 {
+				used[j] = true
+				cur[i] = j
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	// Re-express lengths: caller zips axes with t's >1 lengths.
+	return out
+}
+
+// ExtendStrategy grows one axis of s while ⌈|V|⌉₂ is unchanged, plans the
+// grown shape (Gray, direct, or factoring), and restricts to the guest via
+// a SubMesh node — the paper's extension step.
+type ExtendStrategy struct{}
+
+func (ExtendStrategy) Name() string { return "extend" }
+
+func (ExtendStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
+	return pc.planByExtension(s)
+}
+
+// planByExtension grows one axis of s while ⌈|V|⌉₂ is unchanged and plans
+// the grown shape by factoring; the result is wrapped in a SubMesh node.
+func (pc *planContext) planByExtension(s mesh.Shape) *Plan {
+	target := s.MinCubeDim()
+	total := uint64(1) << uint(target)
+	var best *Plan
+	for i := range s {
+		rest := 1
+		for j := range s {
+			if j != i {
+				rest *= s[j]
+			}
+		}
+		maxLen := int(total) / rest
+		for l := s[i] + 1; l <= maxLen; l++ {
+			grown := s.Clone()
+			grown[i] = l
+			if grown.MinCubeDim() != target {
+				break
+			}
+			if grown.GrayMinimal() {
+				child := &Plan{Kind: KindGray, Shape: grown, CubeDim: target, Dilation: 1}
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: 1, Super: grown, Child: child}
+				best = pc.better(best, sub)
+				continue
+			}
+			if _, _, ok := direct.Lookup(grown); ok {
+				child := &Plan{Kind: KindDirect, Shape: grown, CubeDim: target, Dilation: 2}
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: 2, Super: grown, Child: child}
+				best = pc.better(best, sub)
+				continue
+			}
+			if p := pc.planByFactoring(grown, 1); p != nil && p.CubeDim == target {
+				sub := &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: p.Dilation, Super: grown, Child: p}
+				best = pc.better(best, sub)
+			}
+		}
+	}
+	return best
+}

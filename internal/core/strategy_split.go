@@ -1,0 +1,253 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/direct"
+	"repro/internal/mesh"
+)
+
+// PairGrayStrategy implements method 2 for three-axis shapes: embed one
+// axis pair two-dimensionally and the remaining axis by a Gray code.
+type PairGrayStrategy struct{}
+
+func (PairGrayStrategy) Name() string { return "pair+gray" }
+
+func (PairGrayStrategy) Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan {
+	return pc.planPairPlusGray(s, foldDepth)
+}
+
+// planPairPlusGray implements method 2: find an axis pair (i, j) with
+// ⌈ℓiℓj⌉₂ · ⌈ℓk⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂, embed the ℓi×ℓj mesh two-dimensionally and
+// the remaining axis by a Gray code.  Among valid pairs the one whose 2D
+// plan has the lowest guaranteed dilation wins, matching the paper's advice
+// to pick the two axes with the smallest ℓ/⌈ℓ⌉₂.
+func (pc *planContext) planPairPlusGray(s mesh.Shape, foldDepth int) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	k := s.Dims()
+	var best *Plan
+	for t := 0; t < 3; t++ {
+		i, j, rest := axes[t], axes[(t+1)%3], axes[(t+2)%3]
+		pairDim := bits.CeilLog2(uint64(s[i] * s[j]))
+		grayDim := bits.CeilLog2(uint64(s[rest]))
+		if pairDim+grayDim != target {
+			continue
+		}
+		pairShape := shapeWithAxes(k, []int{i, j}, []int{s[i], s[j]})
+		pairPlan := pc.planMinimalDepth(pairShape, foldDepth)
+		if pairPlan == nil {
+			// Chan [4] guarantees a dilation-2 embedding exists; our
+			// constructive stand-in is the snake fallback with measured
+			// dilation (see DESIGN.md, substitution 1b).
+			pairPlan = &Plan{Kind: KindSnake, Shape: pairShape, CubeDim: pairDim,
+				Dilation: DilationUnknown}
+		}
+		grayShape := shapeWithAxes(k, []int{rest}, []int{s[rest]})
+		grayPlan := &Plan{Kind: KindGray, Shape: grayShape, CubeDim: grayDim, Dilation: 1}
+		prod := &Plan{
+			Kind: KindProduct, Shape: s.Clone(), CubeDim: target,
+			Dilation: max(pairPlan.Dilation, 1),
+			Factors:  []*Plan{pairPlan, grayPlan},
+			Method:   2,
+		}
+		best = pc.better(best, prod)
+	}
+	return best
+}
+
+// Split2DStrategy is the 2D analogue of method 4: split one axis of a
+// two-axis shape as ℓ'·ℓ” and embed (ℓother × ℓ') ⊗ Gray(ℓ”),
+// restricting to the guest at the end.
+type Split2DStrategy struct{}
+
+func (Split2DStrategy) Name() string { return "split2d" }
+
+func (Split2DStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
+	return pc.planBy2DSplit(s)
+}
+
+// planBy2DSplit splits one axis of a two-active-axis shape as ℓ'·ℓ” and
+// embeds (ℓa × ℓ') ⊗ Gray(ℓ”), restricting to the guest at the end.
+// Example: 5x6 = (5x3) ⊗ (1x2) — the 3x5 direct table lifts to a
+// dilation-two minimal-expansion embedding of 5x6.
+func (pc *planContext) planBy2DSplit(s mesh.Shape) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 2 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	total := uint64(1) << uint(target)
+	k := s.Dims()
+	var best *Plan
+	for t := 0; t < 2; t++ {
+		m, a := axes[t], axes[1-t]
+		lm, la := s[m], s[a]
+		for p := 0; p <= target; p++ {
+			P := uint64(1) << uint(p)
+			Q := total / P
+			lpMax := int(P) / la
+			if lpMax < 1 || Q < 1 {
+				continue
+			}
+			// ℓ'' is a Gray factor: ⌈ℓ''⌉₂ == Q means ℓ'' ∈ (Q/2, Q].
+			lppMax := int(Q)
+			if lpMax*lppMax < lm {
+				continue
+			}
+			lpp := (lm + lpMax - 1) / lpMax
+			if lo := int(Q/2) + 1; lpp < lo {
+				lpp = lo
+			}
+			if lpp > lppMax {
+				continue
+			}
+			lp := (lm + lpp - 1) / lpp
+			if lo := int(P/2)/la + 1; lp < lo {
+				lp = lo
+			}
+			if lp > lpMax || lp*lpp < lm {
+				lp = lpMax
+			}
+			if bits.CeilPow2(uint64(la*lp))*bits.CeilPow2(uint64(lpp)) != total {
+				continue
+			}
+			if lp == lm && lpp == 1 {
+				continue // degenerate: no actual split
+			}
+			f1Shape := shapeWithAxes(k, []int{a, m}, []int{la, lp})
+			var f1 *Plan
+			if f1Shape.GrayMinimal() {
+				f1 = &Plan{Kind: KindGray, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 1}
+			} else if _, _, ok := direct.Lookup(f1Shape); ok {
+				f1 = &Plan{Kind: KindDirect, Shape: f1Shape, CubeDim: f1Shape.MinCubeDim(), Dilation: 2}
+			} else if p := pc.planByFactoring(f1Shape, 2); p != nil {
+				f1 = p
+			} else if p := pc.planBySolver(f1Shape); p != nil {
+				f1 = p
+			} else {
+				continue
+			}
+			f2Shape := shapeWithAxes(k, []int{m}, []int{lpp})
+			f2 := &Plan{Kind: KindGray, Shape: f2Shape,
+				CubeDim: bits.CeilLog2(uint64(lpp)), Dilation: 1}
+			if f1.CubeDim+f2.CubeDim != target {
+				continue
+			}
+			super := f1Shape.Product(f2Shape)
+			prod := &Plan{Kind: KindProduct, Shape: super, CubeDim: target,
+				Dilation: max(f1.Dilation, 1), Factors: []*Plan{f1, f2}}
+			var cand *Plan
+			if super.Equal(s) {
+				cand = prod
+			} else {
+				cand = &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: prod.Dilation, Super: super, Child: prod}
+			}
+			best = pc.better(best, cand)
+			if best.Dilation <= 2 {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// Split3DStrategy implements method 4: split one axis as ℓ'·ℓ” ≥ ℓ and
+// embed the product of two two-dimensional meshes (Corollary 2),
+// restricting to the guest at the end.
+type Split3DStrategy struct{}
+
+func (Split3DStrategy) Name() string { return "split3d" }
+
+func (Split3DStrategy) Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan {
+	return pc.planBySplit(s, foldDepth)
+}
+
+// planBySplit implements method 4: choose a split axis m and the remaining
+// axes a, b; find ℓ'·ℓ” ≥ ℓm with ⌈ℓa·ℓ'⌉₂ · ⌈ℓ”·ℓb⌉₂ == ⌈ℓ1ℓ2ℓ3⌉₂; embed
+// the product (ℓa × ℓ') ⊗ (ℓ” × ℓb) by Corollary 2 and restrict to the
+// guest.  Both factors are two-dimensional meshes.
+func (pc *planContext) planBySplit(s mesh.Shape, foldDepth int) *Plan {
+	axes := activeAxes(s)
+	if len(axes) != 3 {
+		return nil
+	}
+	target := s.MinCubeDim()
+	k := s.Dims()
+	total := uint64(1) << uint(target)
+	var best *Plan
+	for t := 0; t < 3; t++ {
+		m, a, b := axes[t], axes[(t+1)%3], axes[(t+2)%3]
+		lm, la, lb := s[m], s[a], s[b]
+		for p := 0; p <= target; p++ {
+			P := uint64(1) << uint(p)
+			Q := total / P
+			lp, lpp, ok := splitFactors(lm, la, lb, P, Q)
+			if !ok {
+				continue
+			}
+			f1Shape := shapeWithAxes(k, []int{a, m}, []int{la, lp})
+			f2Shape := shapeWithAxes(k, []int{m, b}, []int{lpp, lb})
+			f1 := pc.planMinimalOrSnake(f1Shape, foldDepth)
+			f2 := pc.planMinimalOrSnake(f2Shape, foldDepth)
+			if f1.CubeDim+f2.CubeDim != target {
+				continue
+			}
+			super := f1Shape.Product(f2Shape)
+			prod := &Plan{
+				Kind: KindProduct, Shape: super, CubeDim: target,
+				Dilation: max(f1.Dilation, f2.Dilation),
+				Factors:  []*Plan{f1, f2},
+			}
+			var cand *Plan
+			if super.Equal(s) {
+				prod.Method = 4
+				cand = prod
+			} else {
+				cand = &Plan{Kind: KindSubMesh, Shape: s.Clone(), CubeDim: target,
+					Dilation: prod.Dilation, Super: super, Child: prod, Method: 4}
+			}
+			best = pc.better(best, cand)
+			if best.Dilation <= 2 {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// splitFactors solves method 4's arithmetic for one (P, Q) factorization of
+// the minimal cube: find ℓ', ℓ” with ℓ'·ℓ” ≥ ℓm, ⌈ℓa·ℓ'⌉₂ == P and
+// ⌈ℓ”·ℓb⌉₂ == Q, keeping the extension waste ℓ'ℓ” − ℓm small.
+// A feasible pair exists iff ⌊P/ℓa⌋·⌊Q/ℓb⌋ ≥ ℓm (with both ≥ 1).
+func splitFactors(lm, la, lb int, P, Q uint64) (lp, lpp int, ok bool) {
+	lpMax := int(P) / la
+	lppMax := int(Q) / lb
+	if lpMax < 1 || lppMax < 1 || lpMax*lppMax < lm {
+		return 0, 0, false
+	}
+	// With lp = lpMax, ⌈la·lp⌉₂ == P automatically (la·lpMax > P−la ≥ P/2
+	// unless lpMax == 1, where la ∈ (P/2, P]).  Pick the smallest ℓ''
+	// that still satisfies ⌈ℓ''·ℓb⌉₂ == Q, i.e. ℓ''·ℓb > Q/2.
+	lppLo := int(Q/2)/lb + 1
+	lpp = (lm + lpMax - 1) / lpMax // ⌈ℓm/ℓ'⌉, the least cover
+	if lpp < lppLo {
+		lpp = lppLo
+	}
+	if lpp > lppMax {
+		return 0, 0, false
+	}
+	// Shrink ℓ' back as far as the cover and ⌈ℓa·ℓ'⌉₂ == P allow, to
+	// minimize the SubMesh waste.
+	lp = (lm + lpp - 1) / lpp
+	if lo1 := int(P/2)/la + 1; lp < lo1 {
+		lp = lo1
+	}
+	if lp > lpMax || lp*lpp < lm {
+		lp = lpMax
+	}
+	return lp, lpp, true
+}

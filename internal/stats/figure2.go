@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bits"
+	"repro/internal/sweep"
 )
 
 // Figure2Row holds, for one domain bound 2^n, the cumulative percentage of
@@ -19,52 +20,73 @@ type Figure2Row struct {
 	Exceptions uint64     // ordered triples with no method (ε = 1) at all
 }
 
+// figure2Acc accumulates one domain bucket of the Figure 2 sweep.
+type figure2Acc struct {
+	count [5]uint64 // per method index 0..4 (0 = none works at ε=1)
+	eps2  uint64    // best ε ≤ 2 after all methods
+	total uint64
+}
+
 // Figure2 sweeps every mesh contained in a 2^maxN-cube domain and returns
-// one row per n = 1..maxN.  The paper's domain is maxN = 9 (512×512×512);
-// its reported sequence at n = 9 is 28.5, 81.5, 82.9, 96.1.
-//
-// The sweep enumerates sorted triples a ≤ b ≤ c once and weights each by
-// its number of axis permutations; a triple is bucketed at the smallest n
-// whose domain contains it (n = ⌈log₂ c⌉) and contributes to every larger
-// domain cumulatively.
-func Figure2(maxN int) []Figure2Row {
+// one row per n = 1..maxN, using all available cores.  The paper's domain
+// is maxN = 9 (512×512×512); its reported sequence at n = 9 is 28.5, 81.5,
+// 82.9, 96.1.
+func Figure2(maxN int) []Figure2Row { return Figure2Parallel(maxN, 0) }
+
+// Figure2Parallel is Figure2 with an explicit worker count (< 1 means
+// GOMAXPROCS; 1 is the serial reference).  The sweep enumerates sorted
+// triples a ≤ b ≤ c once — sharded over a, the per-shard bucket
+// accumulators merged in shard order — and weights each triple by its
+// number of axis permutations; a triple is bucketed at the smallest n whose
+// domain contains it (n = ⌈log₂ c⌉) and contributes to every larger domain
+// cumulatively.  All tallies are integers, so the result is identical for
+// every worker count.
+func Figure2Parallel(maxN, workers int) []Figure2Row {
 	if maxN < 1 || maxN > 10 {
 		panic("stats: Figure2 domain exponent out of range")
 	}
 	limit := 1 << uint(maxN)
-	type acc struct {
-		count [5]uint64 // per method index 0..4 (0 = none works at ε=1)
-		eps2  uint64    // best ε ≤ 2 after all methods
-		total uint64
-	}
-	buckets := make([]acc, maxN+1)
-
-	for a := 1; a <= limit; a++ {
-		for b := a; b <= limit; b++ {
-			for c := b; c <= limit; c++ {
-				mult := permCount(a, b, c)
-				bucket := bits.CeilLog2(uint64(c))
-				if bucket == 0 {
-					bucket = 1 // 1x1x1 lives in every domain, smallest is n=1
-				}
-				m := BestMethod(a, b, c)
-				buckets[bucket].count[m] += mult
-				buckets[bucket].total += mult
-				if m == 0 {
-					// ε = 1 unreachable; check ε ≤ 2 via method-4 family.
-					e := RelExpansion(a, b, c)
-					if e[3] <= 2 {
-						buckets[bucket].eps2 += mult
+	buckets := sweep.Fold(limit, workers,
+		func(i int) []figure2Acc {
+			a := i + 1
+			part := make([]figure2Acc, maxN+1)
+			for b := a; b <= limit; b++ {
+				for c := b; c <= limit; c++ {
+					mult := permCount(a, b, c)
+					bucket := bits.CeilLog2(uint64(c))
+					if bucket == 0 {
+						bucket = 1 // 1x1x1 lives in every domain, smallest is n=1
 					}
-				} else {
-					buckets[bucket].eps2 += mult
+					m := BestMethod(a, b, c)
+					part[bucket].count[m] += mult
+					part[bucket].total += mult
+					if m == 0 {
+						// ε = 1 unreachable; check ε ≤ 2 via method-4 family.
+						e := RelExpansion(a, b, c)
+						if e[3] <= 2 {
+							part[bucket].eps2 += mult
+						}
+					} else {
+						part[bucket].eps2 += mult
+					}
 				}
 			}
-		}
-	}
+			return part
+		},
+		make([]figure2Acc, maxN+1),
+		func(acc []figure2Acc, part []figure2Acc) []figure2Acc {
+			for n := range acc {
+				for i := range acc[n].count {
+					acc[n].count[i] += part[n].count[i]
+				}
+				acc[n].eps2 += part[n].eps2
+				acc[n].total += part[n].total
+			}
+			return acc
+		})
 
 	rows := make([]Figure2Row, 0, maxN)
-	var cum acc
+	var cum figure2Acc
 	for n := 1; n <= maxN; n++ {
 		for i := range cum.count {
 			cum.count[i] += buckets[n].count[i]
@@ -117,16 +139,31 @@ type Exception struct {
 // maxNodes nodes for which BestMethod is 0.  Section 5 quotes the answers:
 // maxNodes=128 → only 5x5x5; maxNodes=256 adds 5x7x7, 3x9x9, 5x5x10 and
 // 3x5x17.
-func Exceptions(maxNodes int) []Exception {
-	var out []Exception
+func Exceptions(maxNodes int) []Exception { return ExceptionsParallel(maxNodes, 0) }
+
+// ExceptionsParallel is Exceptions sharded over ℓ1; shard outputs are
+// concatenated in ℓ1 order, reproducing the serial enumeration order
+// exactly for any worker count.
+func ExceptionsParallel(maxNodes, workers int) []Exception {
+	amax := 0
 	for a := 1; a*a*a <= maxNodes; a++ {
+		amax = a
+	}
+	parts := sweep.Map(amax, workers, func(i int) []Exception {
+		a := i + 1
+		var part []Exception
 		for b := a; a*b*b <= maxNodes; b++ {
 			for c := b; a*b*c <= maxNodes; c++ {
 				if BestMethod(a, b, c) == 0 {
-					out = append(out, Exception{a, b, c, a * b * c})
+					part = append(part, Exception{a, b, c, a * b * c})
 				}
 			}
 		}
+		return part
+	})
+	var out []Exception
+	for _, part := range parts {
+		out = append(out, part...)
 	}
 	return out
 }
@@ -144,31 +181,49 @@ type EpsilonDistribution struct {
 }
 
 // Figure2Epsilon computes the ε distribution over the full domain 1..2^n.
-func Figure2Epsilon(n int) EpsilonDistribution {
+func Figure2Epsilon(n int) EpsilonDistribution { return Figure2EpsilonParallel(n, 0) }
+
+// Figure2EpsilonParallel is Figure2Epsilon sharded over the first axis with
+// an explicit worker count; integer tallies make the result identical for
+// any worker count.
+func Figure2EpsilonParallel(n, workers int) EpsilonDistribution {
 	if n < 1 || n > 9 {
 		panic("stats: Figure2Epsilon domain exponent out of range")
 	}
 	limit := 1 << uint(n)
-	var c1, c2, c4, cw, total uint64
-	for a := 1; a <= limit; a++ {
-		for b := a; b <= limit; b++ {
-			for c := b; c <= limit; c++ {
-				mult := permCount(a, b, c)
-				total += mult
-				e := RelExpansion(a, b, c)
-				switch {
-				case e[3] <= 1:
-					c1 += mult
-				case e[3] <= 2:
-					c2 += mult
-				case e[3] <= 4:
-					c4 += mult
-				default:
-					cw += mult
+	type epsAcc struct{ c1, c2, c4, cw, total uint64 }
+	acc := sweep.Fold(limit, workers,
+		func(i int) epsAcc {
+			a := i + 1
+			var part epsAcc
+			for b := a; b <= limit; b++ {
+				for c := b; c <= limit; c++ {
+					mult := permCount(a, b, c)
+					part.total += mult
+					e := RelExpansion(a, b, c)
+					switch {
+					case e[3] <= 1:
+						part.c1 += mult
+					case e[3] <= 2:
+						part.c2 += mult
+					case e[3] <= 4:
+						part.c4 += mult
+					default:
+						part.cw += mult
+					}
 				}
 			}
-		}
-	}
-	f := func(x uint64) float64 { return 100 * float64(x) / float64(total) }
-	return EpsilonDistribution{N: n, Eps1: f(c1), Eps2: f(c2), Eps4: f(c4), EpsWorse: f(cw)}
+			return part
+		},
+		epsAcc{},
+		func(acc, part epsAcc) epsAcc {
+			acc.c1 += part.c1
+			acc.c2 += part.c2
+			acc.c4 += part.c4
+			acc.cw += part.cw
+			acc.total += part.total
+			return acc
+		})
+	f := func(x uint64) float64 { return 100 * float64(x) / float64(acc.total) }
+	return EpsilonDistribution{N: n, Eps1: f(acc.c1), Eps2: f(acc.c2), Eps4: f(acc.c4), EpsWorse: f(acc.cw)}
 }

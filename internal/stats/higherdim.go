@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bits"
+	"repro/internal/sweep"
 )
 
 // CoveredK reports whether a k-dimensional mesh can be embedded with
@@ -82,44 +83,65 @@ type HigherDimRow struct {
 
 // HigherDimCoverage sweeps all k-dimensional meshes with 1 ≤ ℓᵢ ≤ 2^n
 // (ordered, counted via sorted tuples with multiplicity) and returns the
-// fraction covered by Gray alone and by the §8 grouping.
+// fraction covered by Gray alone and by the §8 grouping.  Runs on all
+// available cores; see HigherDimCoverageParallel.
 func HigherDimCoverage(k, n int) HigherDimRow {
+	return HigherDimCoverageParallel(k, n, 0)
+}
+
+// HigherDimCoverageParallel is HigherDimCoverage sharded over the first
+// (smallest) axis length with an explicit worker count (< 1 means
+// GOMAXPROCS).  Shards tally integers, so every worker count produces the
+// same row.
+func HigherDimCoverageParallel(k, n, workers int) HigherDimRow {
 	if k < 2 || k > 6 {
 		panic("stats: HigherDimCoverage supports k in 2..6")
 	}
 	limit := 1 << uint(n)
-	row := HigherDimRow{K: k, N: n}
-	var grayHit, coverHit uint64
-
-	lens := make([]int, k)
-	var rec func(i, min int)
-	rec = func(i, min int) {
-		if i == k {
-			mult := permutations(lens)
-			row.Total += mult
-			grayDim, prod := 0, uint64(1)
-			for _, l := range lens {
-				grayDim += bits.CeilLog2(uint64(l))
-				prod *= uint64(l)
+	type coverAcc struct{ total, grayHit, coverHit uint64 }
+	acc := sweep.Fold(limit, workers,
+		func(i int) coverAcc {
+			var part coverAcc
+			lens := make([]int, k)
+			lens[0] = i + 1
+			var rec func(i, min int)
+			rec = func(i, min int) {
+				if i == k {
+					mult := permutations(lens)
+					part.total += mult
+					grayDim, prod := 0, uint64(1)
+					for _, l := range lens {
+						grayDim += bits.CeilLog2(uint64(l))
+						prod *= uint64(l)
+					}
+					if uint64(1)<<uint(grayDim) == bits.CeilPow2(prod) {
+						part.grayHit += mult
+						part.coverHit += mult
+						return
+					}
+					if CoveredK(lens) {
+						part.coverHit += mult
+					}
+					return
+				}
+				for l := min; l <= limit; l++ {
+					lens[i] = l
+					rec(i+1, l)
+				}
 			}
-			if uint64(1)<<uint(grayDim) == bits.CeilPow2(prod) {
-				grayHit += mult
-				coverHit += mult
-				return
-			}
-			if CoveredK(lens) {
-				coverHit += mult
-			}
-			return
-		}
-		for l := min; l <= limit; l++ {
-			lens[i] = l
-			rec(i+1, l)
-		}
-	}
-	rec(0, 1)
-	row.GrayPct = 100 * float64(grayHit) / float64(row.Total)
-	row.CoveredPct = 100 * float64(coverHit) / float64(row.Total)
+			rec(1, lens[0])
+			return part
+		},
+		coverAcc{},
+		func(acc, part coverAcc) coverAcc {
+			acc.total += part.total
+			acc.grayHit += part.grayHit
+			acc.coverHit += part.coverHit
+			return acc
+		})
+	row := HigherDimRow{K: k, N: n, Total: acc.total}
+	row.GrayPct = 100 * float64(acc.grayHit) / float64(acc.total)
+	row.CoveredPct = 100 * float64(acc.coverHit) / float64(acc.total)
 	return row
 }
 

@@ -1,0 +1,49 @@
+package stats
+
+import "testing"
+
+// The parallel sweeps shard over the first axis and merge integer tallies
+// in shard order, so every worker count must reproduce the serial output
+// byte for byte.
+
+func TestFigure2ParallelMatchesSerial(t *testing.T) {
+	serial := FormatFigure2(Figure2Parallel(5, 1))
+	for _, w := range []int{2, 3, 8, 0} {
+		if got := FormatFigure2(Figure2Parallel(5, w)); got != serial {
+			t.Errorf("workers=%d:\n%s\nwant:\n%s", w, got, serial)
+		}
+	}
+}
+
+func TestExceptionsParallelMatchesSerial(t *testing.T) {
+	serial := ExceptionsParallel(256, 1)
+	for _, w := range []int{2, 5, 0} {
+		got := ExceptionsParallel(256, w)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d exceptions, want %d", w, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d: entry %d = %+v, want %+v", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestFigure2EpsilonParallelMatchesSerial(t *testing.T) {
+	serial := Figure2EpsilonParallel(4, 1)
+	for _, w := range []int{3, 0} {
+		if got := Figure2EpsilonParallel(4, w); got != serial {
+			t.Errorf("workers=%d: %+v, want %+v", w, got, serial)
+		}
+	}
+}
+
+func TestHigherDimCoverageParallelMatchesSerial(t *testing.T) {
+	serial := HigherDimCoverageParallel(4, 3, 1)
+	for _, w := range []int{2, 6, 0} {
+		if got := HigherDimCoverageParallel(4, 3, w); got != serial {
+			t.Errorf("workers=%d: %+v, want %+v", w, got, serial)
+		}
+	}
+}

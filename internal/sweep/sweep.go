@@ -1,0 +1,90 @@
+// Package sweep is the shared bounded worker-pool engine behind the
+// shape-space enumerations (Figure 2, the exceptional-mesh lists, the §8
+// conjecture sweep) and the CLI tools.  Work items are indexed 0..n-1 and
+// handed to workers through an atomic cursor; results land in slots indexed
+// by item, so output order — and therefore every golden rendering built
+// from it — is independent of the worker count and the scheduling.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below one mean "use
+// GOMAXPROCS".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Map computes fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results indexed by i.  fn must be safe for concurrent calls.
+// A panic in any fn is re-raised on the caller after the pool drains, so a
+// failing sweep fails loudly instead of deadlocking.
+func Map[R any](n, workers int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	workers = min(Workers(workers), n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+		once     sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}
+
+// Fold maps fn across [0, n) in parallel and merges the results into acc
+// in index order.  merge runs on the caller's goroutine, so accumulators
+// need no locking and the reduction is deterministic.
+func Fold[A, R any](n, workers int, fn func(i int) R, acc A, merge func(A, R) A) A {
+	for _, r := range Map(n, workers, fn) {
+		acc = merge(acc, r)
+	}
+	return acc
+}
+
+// Each runs fn(i) for every i in [0, n) for its side effects, with the same
+// pool semantics as Map.
+func Each(n, workers int, fn func(i int)) {
+	Map(n, workers, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

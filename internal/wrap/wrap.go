@@ -281,7 +281,7 @@ func Embed(shape mesh.Shape, opts core.Options) *embed.Embedding {
 		if basePlan.Minimal() {
 			base := basePlan.Build()
 			d := base.Dilation()
-			cands = append(cands, cand{Quartering(base, shape), maxInt(d, 2)})
+			cands = append(cands, cand{Quartering(base, shape), max(d, 2)})
 		}
 	}
 	if HalvingMinimal(shape) {
@@ -292,7 +292,7 @@ func Embed(shape mesh.Shape, opts core.Options) *embed.Embedding {
 			d := base.Dilation()
 			bound := d + 1
 			if AllEven(shape) {
-				bound = maxInt(d, 1)
+				bound = max(d, 1)
 			}
 			cands = append(cands, cand{Halving(base, shape), bound})
 		}
@@ -318,11 +318,4 @@ func divShape(s mesh.Shape, div int) mesh.Shape {
 		out[i] = (l + div - 1) / div
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

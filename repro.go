@@ -65,18 +65,81 @@ type Result struct {
 	Metrics   Metrics
 }
 
-// Embed builds a minimal-expansion embedding of the mesh into its minimal
-// Boolean cube using the graph-decomposition planner (methods 1-4 of the
-// paper plus solver/snake fallbacks) with default options.
-func Embed(shape Shape) Result {
-	return EmbedWith(shape, core.DefaultOptions)
+// CacheStats reports a Planner's plan-cache counters.
+type CacheStats = core.CacheStats
+
+// CostModel ranks competing candidate plans; see DefaultCostModel and
+// NewLexCost.
+type CostModel = core.CostModel
+
+// CostKey names one component of a lexicographic cost model.
+type CostKey = core.CostKey
+
+// The lexicographic cost-model components, in the default order.
+const (
+	CostExpansion  = core.CostExpansion
+	CostDilation   = core.CostDilation
+	CostFactors    = core.CostFactors
+	CostCongestion = core.CostCongestion
+	CostDepth      = core.CostDepth
+)
+
+// DefaultCostModel is the planner's standard plan preference: minimal
+// expansion, then dilation bound, factor count, congestion bound, depth.
+var DefaultCostModel = core.DefaultCostModel
+
+// NewLexCost builds a lexicographic cost model over the given keys, for
+// Options.Cost.
+func NewLexCost(keys ...CostKey) CostModel { return core.NewLexCost(keys...) }
+
+// Planner plans shapes through a shared, concurrency-safe plan cache keyed
+// by canonical (axis-sorted) shape: all permutations of a shape, and every
+// sub-shape the strategies revisit, share one cache entry.  One Planner may
+// be used from many goroutines; plans it returns are never aliased to cache
+// state.
+type Planner struct {
+	p *core.Planner
 }
 
-// EmbedWith is Embed with explicit planner options.
-func EmbedWith(shape Shape, opts Options) Result {
-	plan := core.PlanShape(shape, opts)
+// NewPlanner returns a caching planner with the given options.
+func NewPlanner(opts Options) *Planner { return &Planner{p: core.NewPlanner(opts)} }
+
+// NewUncachedPlanner returns a planner that plans identically to
+// NewPlanner but memoizes nothing — the reference for cache-equivalence
+// tests and benchmarks.
+func NewUncachedPlanner(opts Options) *Planner {
+	return &Planner{p: core.NewUncachedPlanner(opts)}
+}
+
+// Plan returns a minimal-expansion plan for the shape without building it.
+func (pl *Planner) Plan(shape Shape) *Plan { return pl.p.Plan(shape) }
+
+// Embed plans, builds and measures in one call.
+func (pl *Planner) Embed(shape Shape) Result {
+	plan := pl.p.Plan(shape)
 	e := plan.Build()
 	return Result{Plan: plan, Embedding: e, Metrics: e.Measure()}
+}
+
+// CacheStats returns the planner's cache counters (all zero when built by
+// NewUncachedPlanner).
+func (pl *Planner) CacheStats() CacheStats { return pl.p.CacheStats() }
+
+// defaultPlanner backs Embed: one process-wide cache under default options.
+var defaultPlanner = NewPlanner(core.DefaultOptions)
+
+// Embed builds a minimal-expansion embedding of the mesh into its minimal
+// Boolean cube using the graph-decomposition planner (methods 1-4 of the
+// paper plus solver/snake fallbacks) with default options.  All Embed
+// calls share one cached Planner; use NewPlanner for an isolated cache or
+// custom options.
+func Embed(shape Shape) Result {
+	return defaultPlanner.Embed(shape)
+}
+
+// EmbedWith is Embed with explicit planner options (no shared cache).
+func EmbedWith(shape Shape, opts Options) Result {
+	return NewPlanner(opts).Embed(shape)
 }
 
 // EmbedGray builds the classical Gray-code embedding (dilation one,
