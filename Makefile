@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench figures fmt
+.PHONY: check vet build test race bench bench-short bench-json figures fmt
 
-check: vet build test race
+check: vet build test race bench-short
 
 vet:
 	$(GO) vet ./...
@@ -14,12 +14,24 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with shared mutable state: the planner cache,
-# the sweep engine, and the root facade's shared default planner.
+# the sweep engine, the fused metrics engine (concurrent Measure on a
+# shared Embedding), and the root facade's shared default planner.
 race:
-	$(GO) test -race ./internal/core ./internal/stats ./internal/sweep .
+	$(GO) test -race ./internal/core ./internal/embed ./internal/stats ./internal/sweep .
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One pass over every benchmark as a smoke test (each runs a single
+# iteration) — keeps `check` fast while still compiling and exercising the
+# bench bodies.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... .
+
+# Machine-readable metrics-engine benchmarks for the repo's perf
+# trajectory; see EXPERIMENTS.md for the recorded before/after numbers.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
 figures:
 	$(GO) run ./cmd/figures

@@ -5,6 +5,7 @@ package cube
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/bits"
 )
@@ -27,18 +28,16 @@ type Link struct {
 }
 
 // LinkBetween returns the link joining two adjacent nodes.  It panics if the
-// nodes are not cube neighbors.
+// nodes are not cube neighbors.  It performs no heap allocation, so it is
+// safe in per-edge hot loops.
 func LinkBetween(a, b Node) Link {
 	d := uint64(a) ^ uint64(b)
 	if d == 0 || d&(d-1) != 0 {
 		panic(fmt.Sprintf("cube: nodes %d and %d are not adjacent", a, b))
 	}
-	dim := bits.DiffBits(uint64(a), uint64(b))[0]
-	lo := a
-	if bits.Bit(uint64(a), dim) == 1 {
-		lo = b
-	}
-	return Link{Lo: lo, Dim: dim}
+	// Clearing the differing bit of either endpoint yields the endpoint
+	// whose bit Dim is zero.
+	return Link{Lo: Node(uint64(a) &^ d), Dim: mathbits.TrailingZeros64(d)}
 }
 
 // Other returns the endpoint of l opposite to lo.
@@ -78,26 +77,40 @@ func (p Path) Links() []Link {
 	if len(p) < 2 {
 		return nil
 	}
-	out := make([]Link, 0, len(p)-1)
+	return p.AppendLinks(make([]Link, 0, len(p)-1))
+}
+
+// AppendLinks appends the links traversed by the path to dst and returns the
+// extended slice.  Callers reusing a scratch buffer pass dst[:0] to walk
+// paths without per-path allocation.
+func (p Path) AppendLinks(dst []Link) []Link {
 	for i := 1; i < len(p); i++ {
-		out = append(out, LinkBetween(p[i-1], p[i]))
+		dst = append(dst, LinkBetween(p[i-1], p[i]))
 	}
-	return out
+	return dst
 }
 
 // Route returns the e-cube (dimension-ordered) shortest path from a to b:
 // the differing bits are corrected in increasing dimension order.  The
 // returned path has exactly Dist(a, b) edges.
 func Route(a, b Node) Path {
-	diff := bits.DiffBits(uint64(a), uint64(b))
-	p := make(Path, 0, len(diff)+1)
-	p = append(p, a)
+	return RouteInto(make(Path, 0, Dist(a, b)+1), a, b)
+}
+
+// RouteInto appends the e-cube route from a to b (including both endpoints)
+// to dst and returns the extended slice.  It is Route with caller-managed
+// storage: pass dst[:0] to reuse one buffer across many edges.
+func RouteInto(dst Path, a, b Node) Path {
+	dst = append(dst, a)
 	cur := uint64(a)
-	for _, d := range diff {
-		cur = bits.FlipBit(cur, d)
-		p = append(p, Node(cur))
+	diff := cur ^ uint64(b)
+	for diff != 0 {
+		bit := diff & -diff // lowest differing dimension first
+		cur ^= bit
+		dst = append(dst, Node(cur))
+		diff ^= bit
 	}
-	return p
+	return dst
 }
 
 // ShortestPaths returns all shortest paths from a to b.  For nodes at

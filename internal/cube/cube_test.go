@@ -186,3 +186,64 @@ func BenchmarkLinkIndex(b *testing.B) {
 		_ = LinkIndex(l, 20)
 	}
 }
+
+func TestRouteIntoReusesBuffer(t *testing.T) {
+	pairs := [][2]Node{{0, 0}, {0, 1}, {5, 10}, {0b1011, 0b0110}, {127, 0}}
+	var buf Path
+	for _, pr := range pairs {
+		buf = RouteInto(buf[:0], pr[0], pr[1])
+		want := Route(pr[0], pr[1])
+		if len(buf) != len(want) {
+			t.Fatalf("RouteInto(%d,%d) length %d, want %d", pr[0], pr[1], len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Errorf("RouteInto(%d,%d)[%d] = %d, want %d", pr[0], pr[1], i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAppendLinksMatchesLinks(t *testing.T) {
+	p := Route(0b0000, 0b1011)
+	var buf []Link
+	buf = p.AppendLinks(buf[:0])
+	want := p.Links()
+	if len(buf) != len(want) {
+		t.Fatalf("AppendLinks length %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("link %d = %v, want %v", i, buf[i], want[i])
+		}
+	}
+	// Appending after existing content must preserve the prefix.
+	pre := []Link{{Lo: 9, Dim: 3}}
+	out := p.AppendLinks(pre)
+	if out[0] != pre[0] || len(out) != 1+len(want) {
+		t.Errorf("AppendLinks clobbered the prefix: %v", out)
+	}
+	if Path(nil).AppendLinks(nil) != nil {
+		t.Error("empty path should append nothing")
+	}
+}
+
+func TestLinkBetweenLowEndpoint(t *testing.T) {
+	// Lo must always be the endpoint whose differing bit is zero, whichever
+	// argument order is used.
+	for dim := 0; dim < 6; dim++ {
+		for lo := Node(0); lo < 64; lo++ {
+			if (lo>>uint(dim))&1 == 1 {
+				continue
+			}
+			hi := Node(uint64(lo) | 1<<uint(dim))
+			want := Link{Lo: lo, Dim: dim}
+			if got := LinkBetween(lo, hi); got != want {
+				t.Fatalf("LinkBetween(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+			if got := LinkBetween(hi, lo); got != want {
+				t.Fatalf("LinkBetween(%d,%d) = %v, want %v", hi, lo, got, want)
+			}
+		}
+	}
+}

@@ -97,99 +97,89 @@ func (e *Embedding) EdgeDilation(u, v int) int {
 	return cube.Dist(e.Map[u], e.Map[v])
 }
 
-// Dilation returns the maximum edge dilation (Definition 2).
+// Dilation returns the maximum edge dilation (Definition 2).  It is a thin
+// wrapper over the fused metrics engine (metrics.go).
 func (e *Embedding) Dilation() int {
-	max := 0
-	e.eachGuestEdge(func(ed mesh.Edge) {
-		if d := e.EdgeDilation(ed.U, ed.V); d > max {
-			max = d
-		}
-	})
-	return max
+	return e.fusedPass(0, false).maxDil
 }
 
 // AvgDilation returns the mean edge dilation (Definition 2).  It returns 0
 // for guests with no edges.
 func (e *Embedding) AvgDilation() float64 {
-	sum, cnt := 0, 0
-	e.eachGuestEdge(func(ed mesh.Edge) {
-		sum += e.EdgeDilation(ed.U, ed.V)
-		cnt++
-	})
-	if cnt == 0 {
+	st := e.fusedPass(0, false)
+	if st.edges == 0 {
 		return 0
 	}
-	return float64(sum) / float64(cnt)
+	return float64(st.dilSum) / float64(st.edges)
 }
 
 // AxisAvgDilation returns the mean dilation of the edges along one guest
 // axis (the d̄₂(i) of Section 4.1), or 0 if the axis has no edges.
 func (e *Embedding) AxisAvgDilation(axis int) float64 {
-	sum, cnt := 0, 0
-	e.eachGuestEdge(func(ed mesh.Edge) {
-		if ed.Axis == axis {
-			sum += e.EdgeDilation(ed.U, ed.V)
-			cnt++
-		}
-	})
-	if cnt == 0 {
+	st := e.fusedPass(0, false)
+	if axis < 0 || axis >= len(st.axisSum) || st.axisCnt[axis] == 0 {
 		return 0
 	}
-	return float64(sum) / float64(cnt)
-}
-
-// pathFor returns the realized path of a guest edge: the pinned path if
-// present, else the e-cube route.
-func (e *Embedding) pathFor(u, v int) cube.Path {
-	if e.Paths != nil {
-		if p, ok := e.Paths[Key(u, v)]; ok {
-			return p
-		}
-	}
-	return cube.Route(e.Map[u], e.Map[v])
+	return float64(st.axisSum[axis]) / float64(st.axisCnt[axis])
 }
 
 // LinkLoads returns the congestion of every host link under the current
 // path realization, indexed by cube.LinkIndex.
 func (e *Embedding) LinkLoads() []int {
+	st := e.fusedPass(0, true)
 	loads := make([]int, cube.NumLinks(e.N))
-	e.eachGuestEdge(func(ed mesh.Edge) {
-		p := e.pathFor(ed.U, ed.V)
-		for _, l := range p.Links() {
-			loads[cube.LinkIndex(l, e.N)]++
-		}
-	})
+	for i, c := range st.loads {
+		loads[i] = int(c)
+	}
 	return loads
 }
 
 // Congestion returns the maximum link congestion (Definition 3).
 func (e *Embedding) Congestion() int {
 	max := 0
-	for _, c := range e.LinkLoads() {
-		if c > max {
-			max = c
+	for _, c := range e.fusedPass(0, true).loads {
+		if int(c) > max {
+			max = int(c)
 		}
 	}
 	return max
 }
 
 // AvgCongestion returns the mean congestion over all host links
-// (Definition 3), counting idle links.
+// (Definition 3), counting idle links.  The total load equals the dilation
+// sum (a path of length d crosses d links), so no load vector is needed.
 func (e *Embedding) AvgCongestion() float64 {
-	loads := e.LinkLoads()
-	if len(loads) == 0 {
+	numLinks := cube.NumLinks(e.N)
+	if numLinks == 0 {
 		return 0
 	}
-	sum := 0
-	for _, c := range loads {
-		sum += c
-	}
-	return float64(sum) / float64(len(loads))
+	return float64(e.fusedPass(0, false).dilSum) / float64(numLinks)
 }
 
 // LoadFactor returns the maximum number of guest nodes sharing a host node
-// (Definition 5).  For a valid one-to-one embedding it is 1.
+// (Definition 5).  For a valid one-to-one embedding it is 1.  Small cubes
+// are counted in a dense slice; cubes above denseNodeLimit fall back to a
+// map.
 func (e *Embedding) LoadFactor() int {
+	hn := e.HostNodes()
+	if hn <= denseNodeLimit {
+		counts := make([]int32, hn)
+		max := int32(0)
+		for _, h := range e.Map {
+			if int64(h) >= int64(hn) {
+				return e.loadFactorMap() // invalid image; stay permissive like the map path
+			}
+			counts[h]++
+			if counts[h] > max {
+				max = counts[h]
+			}
+		}
+		return int(max)
+	}
+	return e.loadFactorMap()
+}
+
+func (e *Embedding) loadFactorMap() int {
 	counts := make(map[cube.Node]int, len(e.Map))
 	max := 0
 	for _, h := range e.Map {
@@ -214,6 +204,20 @@ func (e *Embedding) OptimalLoadFactor() int {
 func (e *Embedding) Verify() error {
 	if err := e.verifyCommon(); err != nil {
 		return err
+	}
+	if hn := e.HostNodes(); hn <= denseNodeLimit {
+		// Dense injectivity check: slot h holds 1 + the guest index mapped
+		// there.  verifyCommon bounds every image, and the first duplicate
+		// appears within the first hn+1 entries, so int32 suffices.
+		seen := make([]int32, hn)
+		for i, h := range e.Map {
+			if prev := seen[h]; prev != 0 {
+				return fmt.Errorf("embed: guest nodes %v and %v both map to cube node %d",
+					e.Guest.Coord(int(prev-1)), e.Guest.Coord(i), h)
+			}
+			seen[h] = int32(i + 1)
+		}
+		return nil
 	}
 	seen := make(map[cube.Node]int, len(e.Map))
 	for i, h := range e.Map {
@@ -296,29 +300,34 @@ func (e *Embedding) RealizeMinCongestion() {
 	if e.Paths == nil {
 		e.Paths = make(map[EdgeKey]cube.Path)
 	}
+	// Links are accumulated by walking paths pairwise — no per-path link
+	// slices — and e-cube routes land in one reused scratch buffer.
+	var route cube.Path
 	addPath := func(p cube.Path) {
-		for _, l := range p.Links() {
-			loads[cube.LinkIndex(l, e.N)]++
+		for i := 1; i < len(p); i++ {
+			loads[cube.LinkIndex(cube.LinkBetween(p[i-1], p[i]), e.N)]++
 		}
 	}
 	worst := func(p cube.Path) int {
 		w := 0
-		for _, l := range p.Links() {
-			if c := loads[cube.LinkIndex(l, e.N)]; c > w {
+		for i := 1; i < len(p); i++ {
+			if c := loads[cube.LinkIndex(cube.LinkBetween(p[i-1], p[i]), e.N)]; c > w {
 				w = c
 			}
 		}
 		return w
 	}
 	e.eachGuestEdge(func(ed mesh.Edge) {
-		if _, pinned := e.Paths[Key(ed.U, ed.V)]; pinned {
-			addPath(e.Paths[Key(ed.U, ed.V)])
+		key := Key(ed.U, ed.V)
+		if p, pinned := e.Paths[key]; pinned {
+			addPath(p)
 			return
 		}
 		a, b := e.Map[ed.U], e.Map[ed.V]
 		d := cube.Dist(a, b)
 		if d <= 1 || d > 4 {
-			addPath(e.pathFor(ed.U, ed.V))
+			route = cube.RouteInto(route[:0], a, b)
+			addPath(route)
 			return
 		}
 		best := cube.Path(nil)
@@ -328,7 +337,7 @@ func (e *Embedding) RealizeMinCongestion() {
 				best, bestW = p, w
 			}
 		}
-		e.Paths[Key(ed.U, ed.V)] = best
+		e.Paths[key] = best
 		addPath(best)
 	})
 }
@@ -347,20 +356,12 @@ type Metrics struct {
 	LoadFactor    int
 }
 
-// Measure computes all metrics of the embedding.
+// Measure computes all metrics of the embedding in one fused edge pass
+// (see metrics.go), parallelized over guest-node blocks for large meshes.
+// The result is bit-identical for every worker count; MeasureParallel
+// exposes the worker knob.
 func (e *Embedding) Measure() Metrics {
-	return Metrics{
-		Guest:         e.Guest.String(),
-		Wrap:          e.Wrap,
-		CubeDim:       e.N,
-		Expansion:     e.Expansion(),
-		Minimal:       e.Minimal(),
-		Dilation:      e.Dilation(),
-		AvgDilation:   e.AvgDilation(),
-		Congestion:    e.Congestion(),
-		AvgCongestion: e.AvgCongestion(),
-		LoadFactor:    e.LoadFactor(),
-	}
+	return e.MeasureParallel(0)
 }
 
 // String renders the metrics compactly.

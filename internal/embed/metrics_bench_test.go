@@ -1,0 +1,70 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/mesh"
+)
+
+// benchGray returns the Gray embedding of the shape — the standard large
+// unpinned-edge workload (every edge routed e-cube).
+func benchGray(s mesh.Shape) *Embedding { return Gray(s) }
+
+// benchPinned returns a 3x5x17 embedding with a deliberately scrambled map
+// (identity reshaping of the dense index into the 8-cube) so that many edges
+// land at distance 2..4 and RealizeMinCongestion pins explicit paths — the
+// pinned-path side of the metrics hot loop.
+func benchPinned() *Embedding {
+	s := mesh.Shape{3, 5, 17}
+	e := New(s, s.MinCubeDim())
+	for i := range e.Map {
+		e.Map[i] = cube.Node(i)
+	}
+	e.RealizeMinCongestion()
+	return e
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	cases := []struct {
+		name string
+		e    *Embedding
+	}{
+		{"16x16x16", benchGray(mesh.Shape{16, 16, 16})},
+		{"64x64x64", benchGray(mesh.Shape{64, 64, 64})},
+		{"3x5x17pinned", benchPinned()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := c.e.Measure()
+				if m.Dilation < 1 {
+					b.Fatalf("metrics: %s", m)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLinkLoads(b *testing.B) {
+	cases := []struct {
+		name string
+		e    *Embedding
+	}{
+		{"16x16x16", benchGray(mesh.Shape{16, 16, 16})},
+		{"64x64x64", benchGray(mesh.Shape{64, 64, 64})},
+		{"3x5x17pinned", benchPinned()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				loads := c.e.LinkLoads()
+				if len(loads) == 0 {
+					b.Fatal("no links")
+				}
+			}
+		})
+	}
+}

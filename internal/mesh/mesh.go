@@ -240,7 +240,14 @@ type Edge struct {
 // EachEdge calls fn for every mesh edge (no wraparound), with U < V.
 // Iteration allocates one scratch coordinate vector.
 func (s Shape) EachEdge(fn func(Edge)) {
-	n := s.Nodes()
+	s.EachEdgeRange(0, s.Nodes(), fn)
+}
+
+// EachEdgeRange calls fn for the mesh edges generated by the node indices in
+// [lo, hi): the edges whose lower endpoint is one of those nodes.  A
+// partition of [0, Nodes()) therefore partitions the edge set, which is what
+// the parallel metrics engine shards over.
+func (s Shape) EachEdgeRange(lo, hi int, fn func(Edge)) {
 	coord := make([]int, len(s))
 	stride := make([]int, len(s))
 	st := 1
@@ -248,7 +255,7 @@ func (s Shape) EachEdge(fn func(Edge)) {
 		stride[i] = st
 		st *= l
 	}
-	for idx := 0; idx < n; idx++ {
+	for idx := lo; idx < hi; idx++ {
 		s.CoordInto(idx, coord)
 		for i := range s {
 			if coord[i]+1 < s[i] {
@@ -262,7 +269,13 @@ func (s Shape) EachEdge(fn func(Edge)) {
 // of an axis of length 2 are reported once (they coincide with mesh edges);
 // axes of length 1 have no edges.
 func (s Shape) EachTorusEdge(fn func(Edge)) {
-	n := s.Nodes()
+	s.EachTorusEdgeRange(0, s.Nodes(), fn)
+}
+
+// EachTorusEdgeRange is EachEdgeRange for the wraparound mesh.  A wraparound
+// edge is generated by its higher endpoint (the last hyperplane of its
+// axis), so disjoint index ranges again generate disjoint edge sets.
+func (s Shape) EachTorusEdgeRange(lo, hi int, fn func(Edge)) {
 	coord := make([]int, len(s))
 	stride := make([]int, len(s))
 	st := 1
@@ -270,7 +283,7 @@ func (s Shape) EachTorusEdge(fn func(Edge)) {
 		stride[i] = st
 		st *= l
 	}
-	for idx := 0; idx < n; idx++ {
+	for idx := lo; idx < hi; idx++ {
 		s.CoordInto(idx, coord)
 		for i := range s {
 			if coord[i]+1 < s[i] {

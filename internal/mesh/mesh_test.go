@@ -289,3 +289,51 @@ func BenchmarkIndexCoord(b *testing.B) {
 		_ = s.Index(out)
 	}
 }
+
+// collectEdges gathers edges from a range iteration for comparison.
+func collectEdges(s Shape, wrap bool, lo, hi int) []Edge {
+	var out []Edge
+	fn := func(e Edge) { out = append(out, e) }
+	if wrap {
+		s.EachTorusEdgeRange(lo, hi, fn)
+	} else {
+		s.EachEdgeRange(lo, hi, fn)
+	}
+	return out
+}
+
+func TestEdgeRangePartition(t *testing.T) {
+	shapes := []Shape{{7}, {3, 5}, {4, 4}, {2, 3, 4}, {5, 1, 3}, {2, 2, 2, 2}}
+	for _, s := range shapes {
+		for _, wrap := range []bool{false, true} {
+			full := collectEdges(s, wrap, 0, s.Nodes())
+			// Any partition of the node range must reproduce the full edge
+			// sequence block by block.
+			for _, blocks := range []int{1, 2, 3, 4, 7} {
+				var got []Edge
+				n := s.Nodes()
+				for b := 0; b < blocks; b++ {
+					got = append(got, collectEdges(s, wrap, b*n/blocks, (b+1)*n/blocks)...)
+				}
+				if len(got) != len(full) {
+					t.Fatalf("%v wrap=%v blocks=%d: %d edges, want %d", s, wrap, blocks, len(got), len(full))
+				}
+				for i := range full {
+					if got[i] != full[i] {
+						t.Errorf("%v wrap=%v blocks=%d: edge %d = %+v, want %+v", s, wrap, blocks, i, got[i], full[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeRangeCountsMatchFormulas(t *testing.T) {
+	s := Shape{3, 4, 5}
+	if got := len(collectEdges(s, false, 0, s.Nodes())); got != s.Edges() {
+		t.Errorf("mesh edges %d, want %d", got, s.Edges())
+	}
+	if got := len(collectEdges(s, true, 0, s.Nodes())); got != s.TorusEdges() {
+		t.Errorf("torus edges %d, want %d", got, s.TorusEdges())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/internal/bits"
 )
@@ -101,9 +102,10 @@ func Figure1(maxK, samples int, seed int64) []Figure1Row {
 
 // FormatFigure1 renders the rows as the text table printed by cmd/figures.
 func FormatFigure1(rows []Figure1Row) string {
-	out := "  k   f_k(1/2)   Monte-Carlo\n"
+	var out strings.Builder
+	out.WriteString("  k   f_k(1/2)   Monte-Carlo\n")
 	for _, r := range rows {
-		out += fmt.Sprintf("%3d   %.6f   %.6f\n", r.K, r.Asymptotic, r.MonteCarlo)
+		fmt.Fprintf(&out, "%3d   %.6f   %.6f\n", r.K, r.Asymptotic, r.MonteCarlo)
 	}
-	return out
+	return out.String()
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bits"
 	"repro/internal/sweep"
@@ -120,12 +121,13 @@ func permCount(a, b, c int) uint64 {
 
 // FormatFigure2 renders the rows as the text table printed by cmd/figures.
 func FormatFigure2(rows []Figure2Row) string {
-	out := "  n   domain        S1      S2      S3      S4   S4(ε≤2)\n"
+	var out strings.Builder
+	out.WriteString("  n   domain        S1      S2      S3      S4   S4(ε≤2)\n")
 	for _, r := range rows {
-		out += fmt.Sprintf("%3d   1..%-6d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+		fmt.Fprintf(&out, "%3d   1..%-6d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
 			r.N, 1<<uint(r.N), r.S[0], r.S[1], r.S[2], r.S[3], r.S4Eps2)
 	}
-	return out
+	return out.String()
 }
 
 // Exception is a mesh for which none of the four methods yields a

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bits"
 	"repro/internal/sweep"
@@ -170,11 +171,12 @@ func permutations(sorted []int) uint64 {
 
 // FormatHigherDim renders rows as the text table printed by cmd/figures.
 func FormatHigherDim(rows []HigherDimRow) string {
-	out := "  k   domain     Gray-only   grouped (dil ≤ 2)\n"
+	var out strings.Builder
+	out.WriteString("  k   domain     Gray-only   grouped (dil ≤ 2)\n")
 	for _, r := range rows {
-		out += fmt.Sprintf("%3d   1..%-6d %8.1f%% %12.1f%%\n", r.K, 1<<uint(r.N), r.GrayPct, r.CoveredPct)
+		fmt.Fprintf(&out, "%3d   1..%-6d %8.1f%% %12.1f%%\n", r.K, 1<<uint(r.N), r.GrayPct, r.CoveredPct)
 	}
-	return out
+	return out.String()
 }
 
 // sortedCopy is a test helper used to canonicalize axis multisets.

@@ -160,9 +160,8 @@ func RelExpansion(l1, l2, l3 int) [4]float64 {
 	if e4 > 1 {
 		// Method 4 with expanded hosts: smallest ε = 2^k such that the
 		// split condition holds on a cube of ε·⌈·⌉₂ nodes.
-		n := bits.CeilLog2(uint64(l1 * l2 * l3))
 		for eps := uint64(1); float64(eps) < e4; eps *= 2 {
-			if method4At(l, n, T*eps) {
+			if method4At(l, T*eps) {
 				e4 = float64(eps)
 				break
 			}
@@ -173,9 +172,8 @@ func RelExpansion(l1, l2, l3 int) [4]float64 {
 
 // method4At checks the method-4 split condition against a host of `total`
 // nodes (a power of two ≥ ⌈ℓ1ℓ2ℓ3⌉₂).
-func method4At(l [3]int, n int, total uint64) bool {
+func method4At(l [3]int, total uint64) bool {
 	maxP := bits.FloorLog2(total)
-	_ = n
 	for m := 0; m < 3; m++ {
 		lm, la, lb := l[m], l[(m+1)%3], l[(m+2)%3]
 		for p := 0; p <= maxP; p++ {
