@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt
+.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke
 
-check: vet build test race bench-short
+check: vet build test race bench-short serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,9 +15,10 @@ test:
 
 # Race-check the packages with shared mutable state: the planner cache,
 # the sweep engine, the fused metrics engine (concurrent Measure on a
-# shared Embedding), and the root facade's shared default planner.
+# shared Embedding), the HTTP server (result cache + coalescer under a
+# 32-goroutine herd), and the root facade's shared default planner.
 race:
-	$(GO) test -race ./internal/core ./internal/embed ./internal/stats ./internal/sweep .
+	$(GO) test -race ./internal/core ./internal/embed ./internal/server ./internal/simnet ./internal/stats ./internal/sweep .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -28,10 +29,19 @@ bench:
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... .
 
-# Machine-readable metrics-engine benchmarks for the repo's perf
-# trajectory; see EXPERIMENTS.md for the recorded before/after numbers.
+# Machine-readable benchmarks for the repo's perf trajectory: the PR 2
+# metrics-engine suite plus the PR 3 server-path handlers (cached vs
+# uncached /v1/embed via httptest); see EXPERIMENTS.md for the recorded
+# numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
+# and check it drains cleanly on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

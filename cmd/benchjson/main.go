@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON summary on stdout, one record per benchmark with ns/op, B/op
-// and allocs/op.  It backs the Makefile bench-json target, which records the
-// repo's perf trajectory (BENCH_PR2.json).
+// and allocs/op.  Multi-package runs are supported: each record carries the
+// package whose `pkg:` header preceded it.  benchjson backs the Makefile
+// bench-json target, which records the repo's perf trajectory
+// (BENCH_PR2.json, BENCH_PR3.json).
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./internal/embed | go run ./cmd/benchjson
+//	go test -run '^$' -bench . -benchmem ./internal/embed ./internal/server | go run ./cmd/benchjson
 package main
 
 import (
@@ -20,13 +22,16 @@ import (
 // Result is one parsed benchmark line.
 type Result struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Summary is the emitted document.
+// Summary is the emitted document.  Pkg is kept for single-package runs
+// (and holds the last package seen on multi-package input); the per-record
+// Pkg field is authoritative.
 type Summary struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
@@ -52,6 +57,7 @@ func main() {
 			sum.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
+				r.Pkg = sum.Pkg
 				sum.Benchmarks = append(sum.Benchmarks, r)
 			}
 		}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+// cmdBench is the load-generator mode: it drives a running embedserver's
+// POST /v1/embed with a fixed shape set and reports client-side latency
+// percentiles, separating the cold (first-request, cache-filling) cost from
+// the warm cached-hit steady state.
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	qps := fs.Float64("qps", 0, "request rate limit across all workers (0: unthrottled)")
+	shapes := fs.String("shapes", "64x64x64", "comma-separated shapes to query round-robin")
+	mode := fs.String("mode", "", "embed mode: decomposition (default), gray or torus")
+	conc := fs.Int("c", 8, "concurrent client workers")
+	duration := fs.Duration("duration", 5*time.Second, "warm-phase length")
+	_ = fs.Parse(args)
+
+	var shapeList []string
+	for _, s := range strings.Split(*shapes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, err := mesh.ParseShape(s); err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl:", err)
+			os.Exit(2)
+		}
+		shapeList = append(shapeList, s)
+	}
+	if len(shapeList) == 0 {
+		fmt.Fprintln(os.Stderr, "embedctl: no shapes")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	url := strings.TrimRight(*addr, "/") + "/v1/embed"
+	request := func(shape string) (time.Duration, error) {
+		body, _ := json.Marshal(map[string]any{"shape": shape, "mode": *mode})
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold phase: one serial request per shape, before any caching.
+	var cold []time.Duration
+	for _, s := range shapeList {
+		d, err := request(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "embedctl: cold %s: %v\n", s, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cold  %-16s %s\n", s, round(d))
+		cold = append(cold, d)
+	}
+
+	// Warm phase: concurrent workers, optional shared rate limit.
+	var tokens chan struct{}
+	stop := make(chan struct{})
+	if *qps > 0 {
+		tokens = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / *qps)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					select {
+					case tokens <- struct{}{}:
+					case <-stop:
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	var (
+		mu        sync.Mutex
+		warm      []time.Duration
+		errsCount int
+	)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-stop:
+						return
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				d, err := request(shapeList[i%len(shapeList)])
+				mu.Lock()
+				if err != nil {
+					errsCount++
+				} else {
+					warm = append(warm, d)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	if len(warm) == 0 {
+		fmt.Fprintln(os.Stderr, "embedctl: no successful warm requests")
+		os.Exit(1)
+	}
+	sort.Slice(warm, func(a, b int) bool { return warm[a] < warm[b] })
+	sort.Slice(cold, func(a, b int) bool { return cold[a] < cold[b] })
+	fmt.Printf("warm  %d requests in %s (%.1f req/s), %d errors\n",
+		len(warm), round(elapsed), float64(len(warm))/elapsed.Seconds(), errsCount)
+	fmt.Printf("cold  p50=%s\n", round(percentile(cold, 50)))
+	fmt.Printf("warm  p50=%s p95=%s p99=%s min=%s max=%s\n",
+		round(percentile(warm, 50)), round(percentile(warm, 95)), round(percentile(warm, 99)),
+		round(warm[0]), round(warm[len(warm)-1]))
+	ratio := float64(percentile(cold, 50)) / float64(percentile(warm, 50))
+	fmt.Printf("cold p50 / warm p50 = %.1fx\n", ratio)
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

@@ -40,6 +40,10 @@ func usage() {
                                         ≤ L and ≤ N nodes through one shared
                                         Planner; report dilation histogram
                                         and cache statistics
+  embedctl bench [-addr URL] [-qps Q] [-shapes S1,S2] [-c N] [-duration D]
+                                        load-generate against a running
+                                        embedserver; report cold latency and
+                                        warm p50/p95/p99
 shapes look like 5x6x7
 `)
 	os.Exit(2)
@@ -63,6 +67,8 @@ func main() {
 		cmdCompare(args)
 	case "sweep":
 		cmdSweep(args)
+	case "bench":
+		cmdBench(args)
 	default:
 		usage()
 	}

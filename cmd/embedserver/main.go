@@ -1,0 +1,75 @@
+// Command embedserver runs the embedding service: an HTTP API over the
+// planner, the fused metrics engine and the network simulator, with a
+// canonical-shape LRU result cache, singleflight request coalescing,
+// per-request timeouts, load shedding and Prometheus metrics.
+//
+// Usage:
+//
+//	embedserver -addr :8080 -workers 0 -cache-size 1024 -max-inflight 256 -timeout 30s
+//
+// The server prints "embedserver: listening on HOST:PORT" once the listener
+// is bound (so -addr :0 is scriptable) and drains in-flight requests on
+// SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "metrics-engine workers per measurement (<1: GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 1024, "fully-measured result LRU entries (negative disables)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrently served API requests before shedding with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		MaxInflight: *maxInflight,
+		Timeout:     *timeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("embedserver: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "embedserver:", err)
+		os.Exit(1)
+	case sig := <-stop:
+		fmt.Printf("embedserver: %v, draining for up to %s\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "embedserver: shutdown:", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "embedserver:", err)
+			os.Exit(1)
+		}
+	}
+}

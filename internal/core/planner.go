@@ -66,6 +66,15 @@ func cacheKey(canon mesh.Shape, foldDepth int, fp string) string {
 	return canon.String() + f + fp
 }
 
+// CanonicalShape returns the axis-sorted (ascending, stable) copy of s and
+// the axis map: axmap[j] is the position in s of canonical axis j.  It is
+// the key function of the plan cache, exported so higher layers (the HTTP
+// server's result cache) can share entries across axis permutations the way
+// the planner does.
+func CanonicalShape(s mesh.Shape) (mesh.Shape, []int) {
+	return canonicalShape(s)
+}
+
 // canonicalShape returns the axis-sorted (ascending, stable) copy of s and
 // the axis map: axmap[j] is the position in s of canonical axis j.
 func canonicalShape(s mesh.Shape) (mesh.Shape, []int) {
@@ -203,6 +212,15 @@ func (pl *Planner) Plan(s mesh.Shape) *Plan {
 		panic(err)
 	}
 	return pl.pc.planTop(s)
+}
+
+// TryPlan is Plan returning shape-validation failures as errors instead of
+// panicking, for callers planning untrusted input (the HTTP handlers).
+func (pl *Planner) TryPlan(s mesh.Shape) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return pl.pc.planTop(s), nil
 }
 
 // CacheStats returns the cache counters (zero values when uncached).

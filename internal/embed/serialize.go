@@ -26,6 +26,58 @@ import (
 
 const formatHeader = "repro-embedding v1"
 
+// SchemaVersion is the current version of the structured (JSON) embedding
+// schema.  Serial carries it explicitly so API responses stay
+// forward-compatible: readers reject versions they do not know instead of
+// misparsing them.
+const SchemaVersion = 1
+
+// Serial is the structured, versioned form of an embedding, the schema the
+// HTTP API serves.  It captures exactly what the text format does: pinned
+// paths are not serialized, and path-dependent metrics are recomputed with
+// e-cube routing after FromSerial.
+type Serial struct {
+	Version int      `json:"version"`
+	Guest   string   `json:"guest"`
+	Wrap    bool     `json:"wrap,omitempty"`
+	Cube    int      `json:"cube"`
+	Map     []uint64 `json:"map"`
+}
+
+// Serial returns the structured form of the embedding.
+func (e *Embedding) Serial() *Serial {
+	m := make([]uint64, len(e.Map))
+	for i, h := range e.Map {
+		m[i] = uint64(h)
+	}
+	return &Serial{Version: SchemaVersion, Guest: e.Guest.String(), Wrap: e.Wrap, Cube: e.N, Map: m}
+}
+
+// FromSerial rebuilds an embedding from its structured form and validates
+// it with VerifyManyToOne (the format stores many-to-one embeddings too, so
+// one-to-one validity stays the caller's decision, as with Read).
+func FromSerial(s *Serial) (*Embedding, error) {
+	if s.Version != SchemaVersion {
+		return nil, fmt.Errorf("embed: unsupported schema version %d (have %d)", s.Version, SchemaVersion)
+	}
+	guest, err := mesh.ParseShape(s.Guest)
+	if err != nil {
+		return nil, err
+	}
+	e := New(guest, s.Cube)
+	e.Wrap = s.Wrap
+	if len(s.Map) != len(e.Map) {
+		return nil, fmt.Errorf("embed: map covers %d of %d guest nodes", len(s.Map), len(e.Map))
+	}
+	for i, h := range s.Map {
+		e.Map[i] = cube.Node(h)
+	}
+	if err := e.VerifyManyToOne(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
 // WriteTo serializes the embedding in the text format.  It returns the
 // number of bytes written.
 func (e *Embedding) WriteTo(w io.Writer) (int64, error) {

@@ -1,10 +1,12 @@
 package embed
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cube"
 	"repro/internal/mesh"
 )
 
@@ -48,6 +50,110 @@ func TestSerializeRoundTripRandom(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// roundTrip pushes e through the text format and back.
+func roundTrip(t *testing.T, e *Embedding) *Embedding {
+	t.Helper()
+	var b strings.Builder
+	if _, err := e.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// manyToOne builds a 2-to-1 embedding of the shape into a cube one
+// dimension below minimal: consecutive snake... simply idx % hostNodes,
+// which VerifyManyToOne accepts (injectivity is not required).
+func manyToOne(s mesh.Shape) *Embedding {
+	e := New(s, s.MinCubeDim()-1)
+	hn := e.HostNodes()
+	for i := range e.Map {
+		e.Map[i] = cube.Node(i % hn)
+	}
+	return e
+}
+
+func TestSerializeRoundTripTorus(t *testing.T) {
+	for _, s := range []mesh.Shape{{6, 10}, {4, 4, 4}} {
+		e := Gray(s)
+		e.Wrap = true
+		got := roundTrip(t, e)
+		if !got.Wrap {
+			t.Fatalf("%v: wrap flag lost", s)
+		}
+		if got.Measure() != e.Measure() {
+			t.Fatalf("%v: metrics changed: %v vs %v", s, got.Measure(), e.Measure())
+		}
+	}
+}
+
+func TestSerializeRoundTripManyToOne(t *testing.T) {
+	e := manyToOne(mesh.Shape{5, 7})
+	got := roundTrip(t, e)
+	if got.LoadFactor() != e.LoadFactor() || got.LoadFactor() < 2 {
+		t.Fatalf("load factor %d vs %d", got.LoadFactor(), e.LoadFactor())
+	}
+	if got.Measure() != e.Measure() {
+		t.Fatalf("metrics changed: %v vs %v", got.Measure(), e.Measure())
+	}
+}
+
+func TestSerialRoundTrip(t *testing.T) {
+	cases := []*Embedding{Gray(mesh.Shape{5, 6, 7}), manyToOne(mesh.Shape{9, 9})}
+	cases[0].Wrap = false
+	torus := Gray(mesh.Shape{8, 4})
+	torus.Wrap = true
+	cases = append(cases, torus)
+	for _, e := range cases {
+		s := e.Serial()
+		if s.Version != SchemaVersion {
+			t.Fatalf("serial version = %d, want %d", s.Version, SchemaVersion)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Serial
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromSerial(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Guest.Equal(e.Guest) || got.Wrap != e.Wrap || got.N != e.N {
+			t.Fatalf("%s: header mismatch", e.Guest)
+		}
+		if got.Measure() != e.Measure() {
+			t.Fatalf("%s: metrics changed", e.Guest)
+		}
+	}
+}
+
+func TestFromSerialRejects(t *testing.T) {
+	base := Gray(mesh.Shape{3, 5}).Serial()
+	wrongVersion := *base
+	wrongVersion.Version = SchemaVersion + 1
+	shortMap := *base
+	shortMap.Map = shortMap.Map[:3]
+	badGuest := *base
+	badGuest.Guest = "3x0"
+	outOfCube := *base
+	outOfCube.Map = append([]uint64(nil), base.Map...)
+	outOfCube.Map[0] = 1 << 60
+	for name, s := range map[string]*Serial{
+		"version": &wrongVersion, "short-map": &shortMap,
+		"bad-guest": &badGuest, "out-of-cube": &outOfCube,
+	} {
+		if _, err := FromSerial(s); err == nil {
+			t.Errorf("%s: accepted invalid serial", name)
+		}
 	}
 }
 

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The server-path benchmarks drive the /v1/embed handler through httptest
+// for the repo's perf trajectory (BENCH_PR3.json): the cached-vs-uncached
+// gap is the service's whole reason to exist.
+
+func benchEmbedRequest(b *testing.B, h http.Handler, shape string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/embed", strings.NewReader(`{"shape":"`+shape+`"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s: %d %s", shape, rec.Code, rec.Body.String())
+	}
+}
+
+func BenchmarkEmbedHandlerCached64(b *testing.B) {
+	h := New(Config{}).Handler()
+	benchEmbedRequest(b, h, "64x64x64") // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEmbedRequest(b, h, "64x64x64")
+	}
+}
+
+func BenchmarkEmbedHandlerUncached64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchEmbedRequest(b, New(Config{}).Handler(), "64x64x64")
+	}
+}
+
+func BenchmarkEmbedHandlerCached16(b *testing.B) {
+	h := New(Config{}).Handler()
+	benchEmbedRequest(b, h, "16x16x16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEmbedRequest(b, h, "16x16x16")
+	}
+}
+
+func BenchmarkEmbedHandlerUncached16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchEmbedRequest(b, New(Config{}).Handler(), "16x16x16")
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultCacheStats reports the result cache's counters.  Hits counts LRU
+// hits; Misses counts computations actually performed (a thundering herd on
+// one key is one miss — the followers are counted by the coalescer, not
+// here), so Misses is exactly the number of plan+build+measure runs.
+type ResultCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
+}
+
+// lruCache is a bounded LRU of fully-measured embedding results keyed by
+// canonical shape + options (see resultKey).  Entries are immutable after
+// insertion, so a returned value may be shared by any number of concurrent
+// readers; the lock covers only the list/map bookkeeping.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List               // front = most recent
+	items     map[string]*list.Element // value: *lruEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val *cachedResult
+}
+
+// newLRUCache returns a cache holding at most capacity entries; capacity
+// below one disables caching (every get misses, puts are dropped).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// countMiss records one performed computation; the caller (the flight
+// leader) invokes it after its double-check lookup also missed.
+func (c *lruCache) countMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+func (c *lruCache) put(key string, val *cachedResult) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *lruCache) stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

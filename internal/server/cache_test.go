@@ -1,0 +1,65 @@
+package server
+
+import "testing"
+
+func entry() *cachedResult { return &cachedResult{} }
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	a, b, d := entry(), entry(), entry()
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes oldest
+		t.Fatal("a missing")
+	}
+	c.put("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v != a {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.get("d"); !ok || v != d {
+		t.Fatal("d lost")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	v1, v2 := entry(), entry()
+	c.put("k", v1)
+	c.put("k", v2)
+	if got, _ := c.get("k"); got != v2 {
+		t.Fatal("update did not replace value")
+	}
+	if st := c.stats(); st.Size != 1 || st.Evictions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.put("k", entry())
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if st := c.stats(); st.Size != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUMissCounting(t *testing.T) {
+	c := newLRUCache(4)
+	c.get("absent") // raw lookup misses are not counted
+	c.countMiss()   // performed computations are
+	c.put("k", entry())
+	c.get("k")
+	st := c.stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent computations of the same key
+// (singleflight): the first caller becomes the leader and runs fn on a
+// detached goroutine; followers arriving before it finishes block on the
+// same call.  The computation is deliberately decoupled from any one
+// request's context — a leader whose client times out or disconnects must
+// not abort the work its followers are waiting on (and the completed result
+// still lands in the cache for the retry).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *cachedResult
+	err  error
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*flightCall)} }
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers.  led reports whether this caller ran fn (the "one
+// planner miss" of the coalescing invariant).  If ctx expires first, do
+// returns the context error while the computation keeps running for the
+// remaining waiters.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cachedResult, error)) (val *cachedResult, led bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("embedserver: compute panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, true, c.err
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Hand-rolled Prometheus text exposition (version 0.0.4).  The server's
+// metric set is small and fixed, so instead of a client library it keeps
+// typed counters/gauges/histograms with atomic hot paths and renders them on
+// demand; the output is stable-sorted so scrapes are diffable.
+
+// counterVec is a set of monotonically increasing counters keyed by one
+// label value (endpoint, or endpoint+code joined by the caller).
+type counterVec struct {
+	mu sync.Mutex
+	m  map[string]*atomic.Uint64
+}
+
+func newCounterVec() *counterVec { return &counterVec{m: make(map[string]*atomic.Uint64)} }
+
+func (c *counterVec) get(key string) *atomic.Uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if !ok {
+		v = new(atomic.Uint64)
+		c.m[key] = v
+	}
+	return v
+}
+
+func (c *counterVec) add(key string, n uint64) { c.get(key).Add(n) }
+
+func (c *counterVec) snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// cached sub-millisecond hits through multi-second cold plans.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative on render, plain
+// per-bucket counts internally).
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // len(latencyBuckets)+1; last is the +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram { return &histogram{counts: make([]uint64, len(latencyBuckets)+1)} }
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+	h.mu.Unlock()
+}
+
+// histogramVec keys histograms by endpoint.
+type histogramVec struct {
+	mu sync.Mutex
+	m  map[string]*histogram
+}
+
+func newHistogramVec() *histogramVec { return &histogramVec{m: make(map[string]*histogram)} }
+
+func (hv *histogramVec) get(key string) *histogram {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	h, ok := hv.m[key]
+	if !ok {
+		h = newHistogram()
+		hv.m[key] = h
+	}
+	return h
+}
+
+// metrics is the server's metric registry.
+type metrics struct {
+	requests  *counterVec   // key "endpoint|code"
+	latency   *histogramVec // key endpoint
+	inflight  atomic.Int64
+	shed      atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: newCounterVec(), latency: newHistogramVec()}
+}
+
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.requests.add(endpoint+"|"+strconv.Itoa(code), 1)
+	m.latency.get(endpoint).observe(seconds)
+}
+
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// render writes the exposition; the caller supplies the cache and planner
+// gauges so the registry stays independent of them.
+func (m *metrics) render(b *strings.Builder, gauges []gauge) {
+	fmt.Fprintf(b, "# HELP embedserver_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(b, "# TYPE embedserver_requests_total counter\n")
+	reqs := m.requests.snapshot()
+	keys := make([]string, 0, len(reqs))
+	for k := range reqs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ep, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(b, "embedserver_requests_total{endpoint=%q,code=%q} %d\n", ep, code, reqs[k])
+	}
+
+	fmt.Fprintf(b, "# HELP embedserver_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(b, "# TYPE embedserver_request_seconds histogram\n")
+	m.latency.mu.Lock()
+	eps := make([]string, 0, len(m.latency.m))
+	for ep := range m.latency.m {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	hists := make([]*histogram, len(eps))
+	for i, ep := range eps {
+		hists[i] = m.latency.m[ep]
+	}
+	m.latency.mu.Unlock()
+	for i, ep := range eps {
+		h := hists[i]
+		h.mu.Lock()
+		cum := uint64(0)
+		for j, ub := range latencyBuckets {
+			cum += h.counts[j]
+			fmt.Fprintf(b, "embedserver_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmtFloat(ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(b, "embedserver_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(b, "embedserver_request_seconds_sum{endpoint=%q} %s\n", ep, fmtFloat(h.sum))
+		fmt.Fprintf(b, "embedserver_request_seconds_count{endpoint=%q} %d\n", ep, h.n)
+		h.mu.Unlock()
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(b, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(b, "# TYPE %s %s\n", g.name, g.kind)
+		fmt.Fprintf(b, "%s %s\n", g.name, fmtFloat(g.value))
+	}
+}
+
+// gauge is one single-valued exposition line.
+type gauge struct {
+	name, help, kind string
+	value            float64
+}

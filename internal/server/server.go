@@ -1,0 +1,589 @@
+// Package server exposes the planner, the metrics engine and the network
+// simulator as a production HTTP service (stdlib net/http only):
+//
+//	POST /v1/plan     plan a shape without building it
+//	POST /v1/embed    plan + build + measure (optionally the serialized map)
+//	POST /v1/compare  per-technique metrics, optionally a simnet stencil round
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text exposition
+//
+// The request path is cache → coalescer → planner → metrics engine: a
+// bounded LRU holds fully-measured results keyed by canonical (axis-sorted)
+// shape + variant, a singleflight group collapses a thundering herd on the
+// same key into one computation, and only the flight leader runs the
+// planner.  Requests carry a per-request timeout context; a concurrency
+// semaphore sheds excess load with 429 + Retry-After.  Computations are
+// detached from request contexts, so a timed-out leader still populates the
+// cache for its followers and for the retry.
+//
+// Cache entries are computed on the canonical shape.  Every metric the API
+// serves is invariant under guest axis relabeling (the multiset of guest
+// edges' endpoint images is unchanged), so a hit for a permuted request only
+// rewrites the guest string and — when the map is requested — relabels the
+// node map; it never re-measures.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+	"repro/internal/reshape"
+	"repro/internal/simnet"
+	"repro/internal/wrap"
+)
+
+// APIVersion is the version field stamped on every v1 response body.
+const APIVersion = 1
+
+// maxCompareNodes bounds the guests /v1/compare accepts: a compare builds
+// several embeddings and optionally simulates a stencil exchange, so it is
+// far more expensive per node than /v1/embed.
+const maxCompareNodes = 1 << 20
+
+// Config tunes a Server.  The zero value is usable: defaults are filled in
+// by New.
+type Config struct {
+	// Workers bounds the metrics-engine parallelism per measurement
+	// (values below one mean GOMAXPROCS, as in internal/sweep).
+	Workers int
+	// CacheSize bounds the LRU of fully-measured results (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// MaxInflight bounds concurrently served API requests; excess load is
+	// shed with 429 (default 256).
+	MaxInflight int
+	// Timeout is the per-request deadline (default 30s).
+	Timeout time.Duration
+	// MaxNodes is the largest guest the API will embed; bigger shapes get
+	// 422 (default 1<<24).
+	MaxNodes int
+	// Opts are the planner options (zero value: core.DefaultOptions).
+	Opts core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 1 << 24
+	}
+	if c.Opts.SolverBudget == 0 && c.Opts.SolverSeed == 0 && c.Opts.Cost == nil {
+		c.Opts = core.DefaultOptions
+	}
+	return c
+}
+
+// Server is the embedding service.  It is immutable after New and safe for
+// concurrent use; plug Handler into an http.Server (whose Shutdown drains
+// in-flight requests — handlers never outlive their ResponseWriter).
+type Server struct {
+	cfg     Config
+	planner *core.Planner
+	cache   *lruCache
+	flights *flightGroup
+	sem     chan struct{}
+	m       *metrics
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		planner: core.NewPlanner(cfg.Opts),
+		cache:   newLRUCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		m:       newMetrics(),
+	}
+}
+
+// CacheStats returns the result cache's counters (for tests and /metrics).
+func (s *Server) CacheStats() ResultCacheStats { return s.cache.stats() }
+
+// Coalesced returns how many requests joined an in-flight computation.
+func (s *Server) Coalesced() uint64 { return s.m.coalesced.Load() }
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /v1/plan", s.instrument("plan", s.handlePlan))
+	mux.Handle("POST /v1/embed", s.instrument("embed", s.handleEmbed))
+	mux.Handle("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	return mux
+}
+
+// apiError carries an HTTP status through the compute path.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(format string, a ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, a...)}
+}
+
+func errTooLarge(format string, a ...any) *apiError {
+	return &apiError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, a...)}
+}
+
+// statusWriter records the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an API handler with load shedding, the in-flight gauge,
+// the per-request timeout context, and latency/request accounting.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.m.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "server at capacity")
+			s.m.observe(endpoint, http.StatusTooManyRequests, 0)
+			return
+		}
+		s.m.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		h(sw, r.WithContext(ctx))
+		cancel()
+		s.m.inflight.Add(-1)
+		<-s.sem
+		s.m.observe(endpoint, sw.code, time.Since(start).Seconds())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"version": APIVersion, "error": msg})
+}
+
+// respondErr maps a compute/flight error onto the response.  Context
+// deadline becomes 504 (the work continues detached and lands in the
+// cache); a client cancel gets the non-standard 499 purely for the metrics
+// — the client is gone.
+func respondErr(w http.ResponseWriter, err error) {
+	var api *apiError
+	switch {
+	case errors.As(err, &api):
+		writeErr(w, api.code, api.msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded; result will be cached when ready")
+	case errors.Is(err, context.Canceled):
+		writeErr(w, 499, "client closed request")
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// parseShapeField validates a request shape: parse errors are 400 and
+// oversized guests are 422.  The node count is computed overflow-checked —
+// mesh.Shape.Nodes would wrap silently on absurd axes.
+func (s *Server) parseShapeField(shape string, maxNodes int) (mesh.Shape, error) {
+	sh, err := mesh.ParseShape(shape)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	if err := sh.Validate(); err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	nodes := 1
+	for _, l := range sh {
+		if nodes > maxNodes/l {
+			return nil, errTooLarge("shape %s exceeds the %d-node limit", sh, maxNodes)
+		}
+		nodes *= l
+	}
+	return sh, nil
+}
+
+// cachedResult is one fully-measured LRU entry, always in canonical axis
+// order.  Entries are immutable after insertion.
+type cachedResult struct {
+	plan     string
+	method   int
+	dilBound int // plan's a-priori dilation bound; -1 when unknown/none
+	cubeDim  int
+	measured bool
+	metrics  embed.Metrics
+	emb      *embed.Embedding // nil for plan-only entries
+	compare  *CompareResponse // only for compare entries
+}
+
+// lookup is the cache → coalescer → compute path shared by the endpoints.
+// source reports how the request was served: "computed", "cache" or
+// "coalesced".
+func (s *Server) lookup(ctx context.Context, key string, compute func() (*cachedResult, error)) (res *cachedResult, source string, err error) {
+	if v, ok := s.cache.get(key); ok {
+		return v, "cache", nil
+	}
+	computed := false // safe: the leader reads it only after the flight's done channel closes
+	v, led, err := s.flights.do(ctx, key, func() (*cachedResult, error) {
+		if v, ok := s.cache.get(key); ok {
+			// Lost the race against a flight that finished between our
+			// first check and entering the group.
+			return v, nil
+		}
+		s.cache.countMiss()
+		computed = true
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, v)
+		return v, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	switch {
+	case !led:
+		s.m.coalesced.Add(1)
+		return v, "coalesced", nil
+	case computed:
+		return v, "computed", nil
+	default:
+		return v, "cache", nil
+	}
+}
+
+// PlanRequest is the /v1/plan body.
+type PlanRequest struct {
+	Shape string `json:"shape"`
+}
+
+// PlanResponse is the /v1/plan reply.
+type PlanResponse struct {
+	Version       int    `json:"version"`
+	Shape         string `json:"shape"`
+	Nodes         int    `json:"nodes"`
+	CubeDim       int    `json:"cube_dim"`
+	Plan          string `json:"plan"`
+	Method        int    `json:"method"`
+	DilationBound int    `json:"dilation_bound"` // -1: no a-priori bound
+	Source        string `json:"source"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		respondErr(w, err)
+		return
+	}
+	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	// Plans are served in the caller's axis order — the planner's own
+	// canonical-shape cache already de-duplicates the search across
+	// permutations, so the LRU key stays exact here.
+	key := "plan|" + sh.String()
+	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
+		p, err := s.planner.TryPlan(sh)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		return planResult(p), nil
+	})
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Version:       APIVersion,
+		Shape:         sh.String(),
+		Nodes:         sh.Nodes(),
+		CubeDim:       res.cubeDim,
+		Plan:          res.plan,
+		Method:        res.method,
+		DilationBound: res.dilBound,
+		Source:        source,
+	})
+}
+
+func planResult(p *core.Plan) *cachedResult {
+	dil := p.Dilation
+	if dil == core.DilationUnknown {
+		dil = -1
+	}
+	return &cachedResult{plan: p.String(), method: p.Method, dilBound: dil, cubeDim: p.CubeDim}
+}
+
+// EmbedRequest is the /v1/embed body.  Mode selects the construction:
+// "" or "decomposition" (the planner), "gray" (the baseline), "torus"
+// (wraparound guest, Section 6 constructions).
+type EmbedRequest struct {
+	Shape      string `json:"shape"`
+	Mode       string `json:"mode,omitempty"`
+	IncludeMap bool   `json:"include_map,omitempty"`
+}
+
+// EmbedResponse is the /v1/embed reply.
+type EmbedResponse struct {
+	Version       int           `json:"version"`
+	Shape         string        `json:"shape"`
+	Mode          string        `json:"mode"`
+	Plan          string        `json:"plan,omitempty"`
+	Method        int           `json:"method,omitempty"`
+	DilationBound int           `json:"dilation_bound,omitempty"`
+	Metrics       embed.Metrics `json:"metrics"`
+	Source        string        `json:"source"`
+	Embedding     *embed.Serial `json:"embedding,omitempty"`
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	var req EmbedRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		respondErr(w, err)
+		return
+	}
+	mode := req.Mode
+	switch mode {
+	case "", "decomposition":
+		mode = "decomposition"
+	case "gray", "torus":
+	default:
+		respondErr(w, errBadRequest("unknown mode %q (want decomposition, gray or torus)", req.Mode))
+		return
+	}
+	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	canon, _ := core.CanonicalShape(sh)
+	key := "embed|" + mode + "|" + canon.String()
+	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
+		return s.computeEmbed(canon, mode)
+	})
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	resp := EmbedResponse{
+		Version:       APIVersion,
+		Shape:         sh.String(),
+		Mode:          mode,
+		Plan:          res.plan,
+		Method:        res.method,
+		DilationBound: res.dilBound,
+		Metrics:       res.metrics,
+		Source:        source,
+	}
+	resp.Metrics.Guest = sh.String() // metrics are relabeling-invariant
+	if req.IncludeMap {
+		ser := res.emb.Serial()
+		if !sh.Equal(res.emb.Guest) {
+			ser.Map = relabelMap(res.emb, sh)
+		}
+		ser.Guest = sh.String()
+		resp.Embedding = ser
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeEmbed builds and measures the canonical shape under one mode.
+func (s *Server) computeEmbed(canon mesh.Shape, mode string) (*cachedResult, error) {
+	var res *cachedResult
+	var e *embed.Embedding
+	switch mode {
+	case "gray":
+		e = embed.Gray(canon)
+		res = &cachedResult{cubeDim: e.N, dilBound: 1}
+	case "torus":
+		e = wrap.Embed(canon, s.cfg.Opts)
+		res = &cachedResult{cubeDim: e.N, dilBound: -1}
+	default:
+		p, err := s.planner.TryPlan(canon)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		res = planResult(p)
+		e = p.Build()
+	}
+	if err := e.Verify(); err != nil {
+		return nil, fmt.Errorf("embedserver: built an invalid embedding: %w", err)
+	}
+	res.metrics = e.MeasureParallel(s.cfg.Workers)
+	res.measured = true
+	res.emb = e
+	return res, nil
+}
+
+// relabelMap permutes the canonical-order node map into the requested axis
+// order (a pure guest relabeling — images, and therefore all metrics, are
+// unchanged).
+func relabelMap(e *embed.Embedding, want mesh.Shape) []uint64 {
+	_, axmap := core.CanonicalShape(want)
+	out := make([]uint64, len(e.Map))
+	cw := make([]int, want.Dims())
+	cc := make([]int, want.Dims())
+	for idx := range out {
+		want.CoordInto(idx, cw)
+		for j := range cc {
+			cc[j] = cw[axmap[j]]
+		}
+		out[idx] = uint64(e.Map[e.Guest.Index(cc)])
+	}
+	return out
+}
+
+// CompareRequest is the /v1/compare body.
+type CompareRequest struct {
+	Shape  string `json:"shape"`
+	Simnet bool   `json:"simnet,omitempty"`
+}
+
+// CompareRow is one technique's measured quality.
+type CompareRow struct {
+	Technique string        `json:"technique"`
+	Metrics   embed.Metrics `json:"metrics"`
+}
+
+// CompareResponse is the /v1/compare reply.  Simnet, when requested, holds
+// one deterministic store-and-forward stencil-exchange round per technique.
+type CompareResponse struct {
+	Version int                          `json:"version"`
+	Shape   string                       `json:"shape"`
+	Rows    []CompareRow                 `json:"rows"`
+	Simnet  map[string]simnet.RoundStats `json:"simnet,omitempty"`
+	Source  string                       `json:"source"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		respondErr(w, err)
+		return
+	}
+	sh, err := s.parseShapeField(req.Shape, min(s.cfg.MaxNodes, maxCompareNodes))
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	canon, _ := core.CanonicalShape(sh)
+	key := fmt.Sprintf("compare|%s|simnet=%v", canon, req.Simnet)
+	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
+		return s.computeCompare(canon, req.Simnet)
+	})
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	resp := *res.compare
+	resp.Shape = sh.String()
+	resp.Source = source
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeCompare builds the canonical shape with every applicable technique
+// — Gray, snake, the decomposition planner, and (for two-dimensional
+// guests) the reshaping paths of internal/reshape — measures each, and
+// optionally simulates one stencil-exchange round per technique.
+func (s *Server) computeCompare(canon mesh.Shape, withSimnet bool) (*cachedResult, error) {
+	es := map[string]*embed.Embedding{
+		"gray":  embed.Gray(canon),
+		"snake": core.Snake(canon),
+	}
+	p, err := s.planner.TryPlan(canon)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	es["decomposition"] = p.Build()
+	if canon.Dims() == 2 {
+		es["rowmajor"] = reshape.RowMajor(canon)
+		if f := reshape.BestFold(canon); f != nil {
+			es["fold"] = f
+		}
+	}
+	names := make([]string, 0, len(es))
+	for name := range es {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	resp := &CompareResponse{Version: APIVersion}
+	for _, name := range names {
+		resp.Rows = append(resp.Rows, CompareRow{Technique: name, Metrics: es[name].MeasureParallel(s.cfg.Workers)})
+	}
+	if withSimnet {
+		resp.Simnet = simnet.CompareEmbeddingsParallel(es, s.cfg.Workers)
+	}
+	return &cachedResult{compare: resp}, nil
+}
+
+// decodeBody parses a JSON request body, rejecting trailing garbage and
+// unknown fields so schema typos fail loudly.
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return errBadRequest("bad request body: trailing data")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": APIVersion})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rs := s.cache.stats()
+	ps := s.planner.CacheStats()
+	var b strings.Builder
+	s.m.render(&b, []gauge{
+		{"embedserver_inflight", "API requests currently being served.", "gauge", float64(s.m.inflight.Load())},
+		{"embedserver_shed_total", "Requests shed with 429 at the concurrency limit.", "counter", float64(s.m.shed.Load())},
+		{"embedserver_coalesced_total", "Requests that joined an in-flight computation.", "counter", float64(s.m.coalesced.Load())},
+		{"embedserver_result_cache_hits_total", "Result-cache (LRU) hits.", "counter", float64(rs.Hits)},
+		{"embedserver_result_cache_misses_total", "Computations performed (thundering herds count once).", "counter", float64(rs.Misses)},
+		{"embedserver_result_cache_evictions_total", "Result-cache LRU evictions.", "counter", float64(rs.Evictions)},
+		{"embedserver_result_cache_entries", "Result-cache current size.", "gauge", float64(rs.Size)},
+		{"embedserver_plan_cache_hits_total", "Planner plan-cache hits.", "counter", float64(ps.Hits)},
+		{"embedserver_plan_cache_misses_total", "Planner plan-cache misses.", "counter", float64(ps.Misses)},
+		{"embedserver_plan_cache_entries", "Planner plan-cache current size.", "gauge", float64(ps.Size)},
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/embed"
 	"repro/internal/mesh"
+	"repro/internal/sweep"
 )
 
 // Network is an n-cube of nodes connected by bidirectional links, each
@@ -154,18 +155,30 @@ func StencilExchange(e *embed.Embedding) []Message {
 
 // CompareEmbeddings runs the same stencil exchange over several embeddings
 // of the same guest and returns the per-embedding stats, for the
-// Gray-vs-decomposition communication experiment.
+// Gray-vs-decomposition communication experiment.  The rounds are
+// independent simulations, so they run in parallel (one sweep item per
+// embedding); each simulation is itself deterministic and the results are
+// assembled by sorted name, so the output is identical for every worker
+// count.
 func CompareEmbeddings(es map[string]*embed.Embedding) map[string]RoundStats {
-	out := make(map[string]RoundStats, len(es))
+	return CompareEmbeddingsParallel(es, 0)
+}
+
+// CompareEmbeddingsParallel is CompareEmbeddings with an explicit worker
+// count (values below one mean GOMAXPROCS, as in package sweep).
+func CompareEmbeddingsParallel(es map[string]*embed.Embedding, workers int) map[string]RoundStats {
 	names := make([]string, 0, len(es))
 	for name := range es {
 		names = append(names, name)
 	}
-	sort.Strings(names) // deterministic iteration
-	for _, name := range names {
-		e := es[name]
-		nw := New(e.N)
-		out[name] = nw.Run(StencilExchange(e))
+	sort.Strings(names) // deterministic item order
+	stats := sweep.Map(len(names), workers, func(i int) RoundStats {
+		e := es[names[i]]
+		return New(e.N).Run(StencilExchange(e))
+	})
+	out := make(map[string]RoundStats, len(es))
+	for i, name := range names {
+		out[name] = stats[i]
 	}
 	return out
 }

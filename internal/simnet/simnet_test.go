@@ -144,3 +144,24 @@ func BenchmarkStencilSweep(b *testing.B) {
 		_ = nw.Run(msgs)
 	}
 }
+
+func TestCompareEmbeddingsParallelEqualsSerial(t *testing.T) {
+	s := mesh.Shape{5, 6, 7}
+	es := map[string]*embed.Embedding{
+		"gray":          embed.Gray(s),
+		"decomposition": core.PlanShape(s, core.DefaultOptions).Build(),
+		"snake":         core.Snake(s),
+	}
+	serial := CompareEmbeddingsParallel(es, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := CompareEmbeddingsParallel(es, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d entries, want %d", workers, len(par), len(serial))
+		}
+		for name, want := range serial {
+			if got := par[name]; got != want {
+				t.Errorf("workers=%d: %s: %+v, want %+v", workers, name, got, want)
+			}
+		}
+	}
+}

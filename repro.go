@@ -114,6 +114,10 @@ func NewUncachedPlanner(opts Options) *Planner {
 // Plan returns a minimal-expansion plan for the shape without building it.
 func (pl *Planner) Plan(shape Shape) *Plan { return pl.p.Plan(shape) }
 
+// TryPlan is Plan returning shape-validation failures as errors instead of
+// panicking, for untrusted input (servers, RPC boundaries).
+func (pl *Planner) TryPlan(shape Shape) (*Plan, error) { return pl.p.TryPlan(shape) }
+
 // Embed plans, builds and measures in one call.
 func (pl *Planner) Embed(shape Shape) Result {
 	plan := pl.p.Plan(shape)

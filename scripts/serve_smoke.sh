@@ -1,0 +1,36 @@
+#!/bin/sh
+# serve_smoke.sh — build embedserver, start it on a random port, hit
+# /healthz and one /v1/embed, then shut it down gracefully via SIGTERM.
+# Backs the `make serve-smoke` target (part of `make check`).
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+
+"$GO" build -o "$tmp/embedserver" ./cmd/embedserver
+
+"$tmp/embedserver" -addr 127.0.0.1:0 >"$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^embedserver: listening on //p' "$tmp/log" | head -n 1)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$tmp/log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "serve-smoke: server never bound:"; cat "$tmp/log"; exit 1; }
+
+curl -fsS "http://$addr/healthz" >"$tmp/healthz.json"
+grep -q '"ok"' "$tmp/healthz.json" || { echo "serve-smoke: bad healthz: $(cat "$tmp/healthz.json")"; exit 1; }
+
+curl -fsS -X POST -d '{"shape":"5x6x7"}' "http://$addr/v1/embed" >"$tmp/embed.json"
+grep -q '"Dilation": 2' "$tmp/embed.json" || { echo "serve-smoke: bad embed response: $(cat "$tmp/embed.json")"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "serve-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }
+pid=""
+echo "serve-smoke: ok ($addr)"
