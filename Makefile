@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke obs-smoke
 
-check: vet build test race bench-short serve-smoke
+check: vet build test race bench-short serve-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,9 +16,10 @@ test:
 # Race-check the packages with shared mutable state: the planner cache,
 # the sweep engine, the fused metrics engine (concurrent Measure on a
 # shared Embedding), the HTTP server (result cache + coalescer under a
-# 32-goroutine herd), and the root facade's shared default planner.
+# 32-goroutine herd), the span tracer (concurrent child registration), and
+# the root facade's shared default planner.
 race:
-	$(GO) test -race ./internal/core ./internal/embed ./internal/server ./internal/simnet ./internal/stats ./internal/sweep .
+	$(GO) test -race ./internal/core ./internal/embed ./internal/obs ./internal/server ./internal/simnet ./internal/stats ./internal/sweep .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -30,18 +31,25 @@ bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... .
 
 # Machine-readable benchmarks for the repo's perf trajectory: the PR 2
-# metrics-engine suite plus the PR 3 server-path handlers (cached vs
-# uncached /v1/embed via httptest); see EXPERIMENTS.md for the recorded
-# numbers.
+# metrics-engine suite, the PR 3 server-path handlers (cached vs uncached
+# /v1/embed via httptest) and the PR 4 observability overhead pairs
+# (Measure vs MeasureTraced, cached handler vs tracing-off vs ?debug=trace);
+# see EXPERIMENTS.md for the recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	  | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end observability check: debug-traced requests, /metrics gauges,
+# the pprof/expvar debug listener, the JSON access log and embedctl
+# explain/trace.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

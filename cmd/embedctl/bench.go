@@ -28,7 +28,15 @@ func cmdBench(args []string) {
 	mode := fs.String("mode", "", "embed mode: decomposition (default), gray or torus")
 	conc := fs.Int("c", 8, "concurrent client workers")
 	duration := fs.Duration("duration", 5*time.Second, "warm-phase length")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable summary on stdout (schema family of cmd/benchjson); human output moves to stderr")
 	_ = fs.Parse(args)
+
+	// With -json, stdout carries exactly one JSON document; progress lines
+	// move to stderr so pipelines stay parseable.
+	human := io.Writer(os.Stdout)
+	if *jsonOut {
+		human = os.Stderr
+	}
 
 	var shapeList []string
 	for _, s := range strings.Split(*shapes, ",") {
@@ -72,7 +80,7 @@ func cmdBench(args []string) {
 			fmt.Fprintf(os.Stderr, "embedctl: cold %s: %v\n", s, err)
 			os.Exit(1)
 		}
-		fmt.Printf("cold  %-16s %s\n", s, round(d))
+		fmt.Fprintf(human, "cold  %-16s %s\n", s, round(d))
 		cold = append(cold, d)
 	}
 
@@ -146,14 +154,65 @@ func cmdBench(args []string) {
 	}
 	sort.Slice(warm, func(a, b int) bool { return warm[a] < warm[b] })
 	sort.Slice(cold, func(a, b int) bool { return cold[a] < cold[b] })
-	fmt.Printf("warm  %d requests in %s (%.1f req/s), %d errors\n",
+	fmt.Fprintf(human, "warm  %d requests in %s (%.1f req/s), %d errors\n",
 		len(warm), round(elapsed), float64(len(warm))/elapsed.Seconds(), errsCount)
-	fmt.Printf("cold  p50=%s\n", round(percentile(cold, 50)))
-	fmt.Printf("warm  p50=%s p95=%s p99=%s min=%s max=%s\n",
+	fmt.Fprintf(human, "cold  p50=%s\n", round(percentile(cold, 50)))
+	fmt.Fprintf(human, "warm  p50=%s p95=%s p99=%s min=%s max=%s\n",
 		round(percentile(warm, 50)), round(percentile(warm, 95)), round(percentile(warm, 99)),
 		round(warm[0]), round(warm[len(warm)-1]))
 	ratio := float64(percentile(cold, 50)) / float64(percentile(warm, 50))
-	fmt.Printf("cold p50 / warm p50 = %.1fx\n", ratio)
+	fmt.Fprintf(human, "cold p50 / warm p50 = %.1fx\n", ratio)
+	if *jsonOut {
+		writeBenchJSON(cold, warm, elapsed, errsCount, *mode, shapeList)
+	}
+}
+
+// benchResult is one summary statistic in the record shape of cmd/benchjson,
+// so downstream tooling can treat client-side latencies and go-test
+// benchmarks uniformly.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// benchSummary is the -json document.
+type benchSummary struct {
+	Mode       string        `json:"mode,omitempty"`
+	Shapes     []string      `json:"shapes"`
+	Requests   int           `json:"requests"`
+	Errors     int           `json:"errors"`
+	ElapsedSec float64       `json:"elapsed_seconds"`
+	ReqPerSec  float64       `json:"req_per_sec"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func writeBenchJSON(cold, warm []time.Duration, elapsed time.Duration, errsCount int, mode string, shapes []string) {
+	stat := func(name string, iters int, d time.Duration) benchResult {
+		return benchResult{Name: name, Iterations: int64(iters), NsPerOp: float64(d.Nanoseconds())}
+	}
+	sum := benchSummary{
+		Mode:       mode,
+		Shapes:     shapes,
+		Requests:   len(warm),
+		Errors:     errsCount,
+		ElapsedSec: elapsed.Seconds(),
+		ReqPerSec:  float64(len(warm)) / elapsed.Seconds(),
+		Benchmarks: []benchResult{
+			stat("cold/p50", len(cold), percentile(cold, 50)),
+			stat("warm/p50", len(warm), percentile(warm, 50)),
+			stat("warm/p95", len(warm), percentile(warm, 95)),
+			stat("warm/p99", len(warm), percentile(warm, 99)),
+			stat("warm/min", len(warm), warm[0]),
+			stat("warm/max", len(warm), warm[len(warm)-1]),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
 }
 
 // percentile returns the p-th percentile of sorted durations

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// cmdExplain prints the planner's strategy provenance for a shape: which
+// pipeline ran, which strategies were tried, skipped (and why) or chosen,
+// and the same recursively for every sub-shape the decomposition visited.
+// This is the CLI face of Planner.PlanTraced / /v1/plan?debug=trace.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	build := fs.Bool("build", false, "also build, verify and measure the planned embedding")
+	_ = fs.Parse(args)
+	s := parseShape(fs.Args())
+
+	pl := core.NewPlanner(core.DefaultOptions)
+	p, pt, err := pl.PlanTraced(context.Background(), s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("shape:  %s (%d nodes)\n", s, s.Nodes())
+	fmt.Printf("plan:   %s\n", p)
+	fmt.Printf("method: %d\n\n", p.Method)
+	printPlanTrace(os.Stdout, pt, "")
+	if *build {
+		e := p.Build()
+		if err := e.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl: INVALID EMBEDDING:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", e.Measure())
+	}
+}
+
+// printPlanTrace renders one provenance node and recurses into sub-shapes.
+func printPlanTrace(w io.Writer, pt *core.PlanTrace, indent string) {
+	if pt == nil {
+		return
+	}
+	fmt.Fprintf(w, "%splan %s", indent, pt.Shape)
+	if pt.Canonical != pt.Shape {
+		fmt.Fprintf(w, " (canonical %s)", pt.Canonical)
+	}
+	fmt.Fprintf(w, ": pipeline=%s chosen=%s (%.3f ms)\n",
+		pt.Pipeline, pt.Chosen, float64(pt.DurationNS)/1e6)
+	for _, a := range pt.Attempts {
+		marker := "-"
+		switch a.Status {
+		case "chosen":
+			marker = "*"
+		case "skipped":
+			marker = "~"
+		}
+		fmt.Fprintf(w, "%s  %s %-11s %-8s", indent, marker, a.Strategy, a.Status)
+		if a.Plan != "" {
+			fmt.Fprintf(w, " plan=%s dil=%d", a.Plan, a.Dilation)
+		}
+		if a.Reason != "" {
+			fmt.Fprintf(w, "  (%s)", a.Reason)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, sub := range pt.Sub {
+		printPlanTrace(w, sub, indent+"    ")
+	}
+}
+
+// cmdTrace plans, builds, verifies and measures a shape under a span trace
+// and writes the result as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "trace.json", "output file for the Chrome trace-event JSON")
+	workers := fs.Int("workers", 0, "metrics-engine workers (<1: GOMAXPROCS)")
+	_ = fs.Parse(args)
+	s := parseShape(fs.Args())
+
+	obs.SetEnabled(true)
+	ctx, root := obs.StartRoot(context.Background(), "embedctl "+s.String())
+	pl := core.NewPlanner(core.DefaultOptions)
+	p, _, err := pl.PlanTraced(ctx, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	_, bspan := obs.Start(ctx, "build")
+	e := p.Build()
+	bspan.End()
+	_, vspan := obs.Start(ctx, "verify")
+	verr := e.Verify()
+	vspan.End()
+	if verr != nil {
+		fmt.Fprintln(os.Stderr, "embedctl: INVALID EMBEDDING:", verr)
+		os.Exit(1)
+	}
+	m := e.MeasureParallelCtx(ctx, *workers)
+	root.End()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, root.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("plan: %s\n%s\n", p, m)
+	fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *out)
+}

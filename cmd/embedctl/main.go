@@ -41,9 +41,18 @@ func usage() {
                                         Planner; report dilation histogram
                                         and cache statistics
   embedctl bench [-addr URL] [-qps Q] [-shapes S1,S2] [-c N] [-duration D]
-                                        load-generate against a running
+                 [-json]                load-generate against a running
                                         embedserver; report cold latency and
-                                        warm p50/p95/p99
+                                        warm p50/p95/p99 (-json: machine-
+                                        readable, schema of cmd/benchjson)
+  embedctl explain [-build] <shape>     show the planner's strategy
+                                        provenance: every strategy tried,
+                                        skipped (with the gate reason) or
+                                        chosen, per sub-shape
+  embedctl trace [-o trace.json] <shape>
+                                        plan+build+measure under a span
+                                        trace; write Chrome trace-event JSON
+                                        for chrome://tracing / Perfetto
 shapes look like 5x6x7
 `)
 	os.Exit(2)
@@ -69,6 +78,10 @@ func main() {
 		cmdSweep(args)
 	case "bench":
 		cmdBench(args)
+	case "explain":
+		cmdExplain(args)
+	case "trace":
+		cmdTrace(args)
 	default:
 		usage()
 	}

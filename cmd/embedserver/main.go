@@ -7,6 +7,18 @@
 //
 //	embedserver -addr :8080 -workers 0 -cache-size 1024 -max-inflight 256 -timeout 30s
 //
+// Observability:
+//
+//	-log-level debug|info|warn|error   access-log verbosity (default info)
+//	-log-format text|json              access-log encoding (default text)
+//	-no-log                            disable the access log entirely
+//	-debug-addr HOST:PORT              opt-in second listener serving
+//	                                   net/http/pprof and expvar; kept off
+//	                                   the API listener so profiling is
+//	                                   never exposed by accident
+//	-tracing=false                     kill switch for the span tracer
+//	                                   behind ?debug=trace
+//
 // The server prints "embedserver: listening on HOST:PORT" once the listener
 // is bound (so -addr :0 is scriptable) and drains in-flight requests on
 // SIGINT/SIGTERM before exiting.
@@ -15,15 +27,19 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -34,13 +50,40 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "concurrently served API requests before shedding with 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	logLevel := flag.String("log-level", "info", "minimum access-log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
+	noLog := flag.Bool("no-log", false, "disable the structured access log")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener serving net/http/pprof and expvar (empty: off)")
+	tracing := flag.Bool("tracing", true, "enable the span tracer behind ?debug=trace / X-Debug-Trace")
 	flag.Parse()
+
+	obs.SetEnabled(*tracing)
+
+	var logger *slog.Logger
+	if !*noLog {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "embedserver: bad -log-level %q: %v\n", *logLevel, err)
+			os.Exit(2)
+		}
+		opts := &slog.HandlerOptions{Level: lvl}
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(os.Stderr, opts))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, opts))
+		default:
+			fmt.Fprintf(os.Stderr, "embedserver: bad -log-format %q (want text or json)\n", *logFormat)
+			os.Exit(2)
+		}
+	}
 
 	s := server.New(server.Config{
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		MaxInflight: *maxInflight,
 		Timeout:     *timeout,
+		Logger:      logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -48,6 +91,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("embedserver: listening on %s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embedserver: debug listener:", err)
+			os.Exit(1)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		fmt.Printf("embedserver: debug listening on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "embedserver: debug listener:", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)

@@ -26,14 +26,24 @@ type Strategy interface {
 //     and fold searches only run while no dilation-2 plan is in hand);
 //   - stop: stop the whole pipeline after this strategy (e.g. a direct
 //     table hit is final).
+//
+// The gate reasons are surfaced verbatim in PlanTrace provenance, so they
+// are written for the operator reading `embedctl explain`.
 type stage struct {
-	strat Strategy
-	skip  func(best *Plan) bool
-	stop  func(best *Plan) bool
+	strat      Strategy
+	skip       func(best *Plan) bool
+	skipReason string
+	stop       func(best *Plan) bool
+	stopReason string
 }
 
 func whenFound(best *Plan) bool   { return best != nil }
 func whenSettled(best *Plan) bool { return best != nil && best.Dilation <= 2 }
+
+const (
+	reasonFound   = "a plan is already in hand"
+	reasonSettled = "a dilation-2 plan is already in hand"
+)
 
 // Registry holds the ordered strategy pipelines, one per active-axis class.
 // The default registry encodes the paper's method preferences; tests build
@@ -48,20 +58,20 @@ type Registry struct {
 func NewDefaultRegistry() *Registry {
 	return &Registry{
 		twoD: []stage{
-			{strat: DirectStrategy{}, stop: whenFound},
+			{strat: DirectStrategy{}, stop: whenFound, stopReason: "a direct table hit is final"},
 			{strat: FactorStrategy{}},
 			{strat: ExtendStrategy{}},
-			{strat: Split2DStrategy{}, skip: whenSettled},
-			{strat: FoldStrategy{}, skip: whenSettled},
-			{strat: SolverStrategy{}, skip: whenFound},
+			{strat: Split2DStrategy{}, skip: whenSettled, skipReason: reasonSettled},
+			{strat: FoldStrategy{}, skip: whenSettled, skipReason: reasonSettled},
+			{strat: SolverStrategy{}, skip: whenFound, skipReason: reasonFound},
 		},
 		threeD: []stage{
 			{strat: PairGrayStrategy{}},
-			{strat: FactorStrategy{}, stop: whenSettled},
+			{strat: FactorStrategy{}, stop: whenSettled, stopReason: "dilation-2 factoring settles the pipeline"},
 			{strat: Split3DStrategy{}},
 			{strat: ExtendStrategy{}},
-			{strat: FoldStrategy{}, skip: whenSettled},
-			{strat: SolverStrategy{}, skip: whenFound},
+			{strat: FoldStrategy{}, skip: whenSettled, skipReason: reasonSettled},
+			{strat: SolverStrategy{}, skip: whenFound, skipReason: reasonFound},
 		},
 		highD: []stage{
 			{strat: HighDimStrategy{}},
@@ -89,14 +99,17 @@ var defaultRegistry = NewDefaultRegistry()
 
 // planContext carries one planning run's configuration: options, resolved
 // cost model, strategy registry, and (for Planner) the shared plan cache.
-// A context is immutable after construction and safe for concurrent use.
+// A context is immutable after construction and safe for concurrent use —
+// except for tr, which is only ever set on the private per-call copy a
+// PlanTraced run makes (see trace.go) and is nil on every shared context.
 type planContext struct {
 	opts  Options
 	cost  CostModel
 	reg   *Registry
-	cache *planCache // nil: no memoization
-	canon bool       // canonicalize axis order before searching
-	fp    string     // options fingerprint, part of every cache key
+	cache *planCache  // nil: no memoization
+	canon bool        // canonicalize axis order before searching
+	fp    string      // options fingerprint, part of every cache key
+	tr    *planTracer // nil: provenance recording off (the hot path)
 }
 
 func newPlanContext(opts Options, cache *planCache, canon bool) *planContext {
@@ -119,28 +132,44 @@ func newPlanContext(opts Options, cache *planCache, canon bool) *planContext {
 // strategies planning sub-shapes, so canonicalization and caching apply at
 // every level of the tree.
 func (pc *planContext) planMinimalDepth(s mesh.Shape, foldDepth int) *Plan {
-	if pc.canon {
-		return pc.planCanonical(s, foldDepth)
+	if pc.tr == nil {
+		if pc.canon {
+			return pc.planCanonical(s, foldDepth)
+		}
+		return pc.planDispatch(s, foldDepth)
 	}
-	return pc.planDispatch(s, foldDepth)
+	pc.tr.push(s)
+	var p *Plan
+	if pc.canon {
+		p = pc.planCanonical(s, foldDepth)
+	} else {
+		p = pc.planDispatch(s, foldDepth)
+	}
+	pc.tr.pop(p)
+	return p
 }
 
 // planDispatch routes a shape to the pipeline for its active-axis count.
 func (pc *planContext) planDispatch(s mesh.Shape, foldDepth int) *Plan {
 	if s.GrayMinimal() {
+		pc.tr.shortcut("gray-minimal", "gray")
 		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.MinCubeDim(),
 			Dilation: 1, Method: 1}
 	}
 	switch len(activeAxes(s)) {
 	case 0, 1:
 		// A path (or point) is always Gray-minimal; defensive.
+		pc.tr.shortcut("path", "gray")
 		return &Plan{Kind: KindGray, Shape: s.Clone(), CubeDim: s.GrayCubeDim(),
 			Dilation: 1, Method: 1}
 	case 2:
+		pc.tr.setPipeline("2d")
 		return pc.runPipeline(pc.reg.twoD, s, foldDepth)
 	case 3:
+		pc.tr.setPipeline("3d")
 		return pc.runPipeline(pc.reg.threeD, s, foldDepth)
 	default:
+		pc.tr.setPipeline("highd")
 		return pc.runPipeline(pc.reg.highD, s, foldDepth)
 	}
 }
@@ -148,6 +177,9 @@ func (pc *planContext) planDispatch(s mesh.Shape, foldDepth int) *Plan {
 // runPipeline folds the stages' candidates under the cost model, honoring
 // the per-stage skip/stop gates.
 func (pc *planContext) runPipeline(stages []stage, s mesh.Shape, foldDepth int) *Plan {
+	if pc.tr != nil {
+		return pc.runPipelineTraced(stages, s, foldDepth)
+	}
 	var best *Plan
 	for _, st := range stages {
 		if st.skip != nil && st.skip(best) {

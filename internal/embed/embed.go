@@ -6,6 +6,7 @@
 package embed
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cube"
@@ -100,13 +101,13 @@ func (e *Embedding) EdgeDilation(u, v int) int {
 // Dilation returns the maximum edge dilation (Definition 2).  It is a thin
 // wrapper over the fused metrics engine (metrics.go).
 func (e *Embedding) Dilation() int {
-	return e.fusedPass(0, false).maxDil
+	return e.fusedPass(context.Background(), 0, false).maxDil
 }
 
 // AvgDilation returns the mean edge dilation (Definition 2).  It returns 0
 // for guests with no edges.
 func (e *Embedding) AvgDilation() float64 {
-	st := e.fusedPass(0, false)
+	st := e.fusedPass(context.Background(), 0, false)
 	if st.edges == 0 {
 		return 0
 	}
@@ -116,7 +117,7 @@ func (e *Embedding) AvgDilation() float64 {
 // AxisAvgDilation returns the mean dilation of the edges along one guest
 // axis (the d̄₂(i) of Section 4.1), or 0 if the axis has no edges.
 func (e *Embedding) AxisAvgDilation(axis int) float64 {
-	st := e.fusedPass(0, false)
+	st := e.fusedPass(context.Background(), 0, false)
 	if axis < 0 || axis >= len(st.axisSum) || st.axisCnt[axis] == 0 {
 		return 0
 	}
@@ -126,7 +127,7 @@ func (e *Embedding) AxisAvgDilation(axis int) float64 {
 // LinkLoads returns the congestion of every host link under the current
 // path realization, indexed by cube.LinkIndex.
 func (e *Embedding) LinkLoads() []int {
-	st := e.fusedPass(0, true)
+	st := e.fusedPass(context.Background(), 0, true)
 	loads := make([]int, cube.NumLinks(e.N))
 	for i, c := range st.loads {
 		loads[i] = int(c)
@@ -137,7 +138,7 @@ func (e *Embedding) LinkLoads() []int {
 // Congestion returns the maximum link congestion (Definition 3).
 func (e *Embedding) Congestion() int {
 	max := 0
-	for _, c := range e.fusedPass(0, true).loads {
+	for _, c := range e.fusedPass(context.Background(), 0, true).loads {
 		if int(c) > max {
 			max = int(c)
 		}
@@ -153,7 +154,7 @@ func (e *Embedding) AvgCongestion() float64 {
 	if numLinks == 0 {
 		return 0
 	}
-	return float64(e.fusedPass(0, false).dilSum) / float64(numLinks)
+	return float64(e.fusedPass(context.Background(), 0, false).dilSum) / float64(numLinks)
 }
 
 // LoadFactor returns the maximum number of guest nodes sharing a host node

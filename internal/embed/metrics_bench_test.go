@@ -1,10 +1,12 @@
 package embed
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cube"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // benchGray returns the Gray embedding of the shape — the standard large
@@ -63,6 +65,35 @@ func BenchmarkLinkLoads(b *testing.B) {
 				loads := c.e.LinkLoads()
 				if len(loads) == 0 {
 					b.Fatal("no links")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureTraced measures the fully-traced Measure path (a root span
+// per iteration, so the fused pass, sweep workers and shards all record) for
+// the off-vs-on overhead comparison of EXPERIMENTS.md.
+func BenchmarkMeasureTraced(b *testing.B) {
+	cases := []struct {
+		name string
+		e    *Embedding
+	}{
+		{"16x16x16", benchGray(mesh.Shape{16, 16, 16})},
+		{"64x64x64", benchGray(mesh.Shape{64, 64, 64})},
+	}
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx, root := obs.StartRoot(context.Background(), "bench")
+				m := c.e.MeasureParallelCtx(ctx, 0)
+				root.End()
+				if m.Dilation < 1 {
+					b.Fatalf("metrics: %s", m)
 				}
 			}
 		})

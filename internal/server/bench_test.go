@@ -5,6 +5,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // The server-path benchmarks drive the /v1/embed handler through httptest
@@ -52,5 +54,40 @@ func BenchmarkEmbedHandlerUncached16(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchEmbedRequest(b, New(Config{}).Handler(), "16x16x16")
+	}
+}
+
+// BenchmarkEmbedHandlerCached64TracingOff is the cached handler with the
+// span tracer's kill switch thrown — the configuration the <2%-overhead
+// acceptance bar of the observability work is measured against.
+func BenchmarkEmbedHandlerCached64TracingOff(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	h := New(Config{}).Handler()
+	benchEmbedRequest(b, h, "64x64x64")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEmbedRequest(b, h, "64x64x64")
+	}
+}
+
+// BenchmarkEmbedHandlerDebugTrace64 is the cached handler with ?debug=trace:
+// the full per-request span tree, the cache-bypassed provenance run and the
+// doubled encode.  Its gap to BenchmarkEmbedHandlerCached64 is the price of
+// asking for a trace — paid only by requests that ask.
+func BenchmarkEmbedHandlerDebugTrace64(b *testing.B) {
+	h := New(Config{}).Handler()
+	benchEmbedRequest(b, h, "64x64x64")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/embed?debug=trace", strings.NewReader(`{"shape":"64x64x64"}`))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%d %s", rec.Code, rec.Body.String())
+		}
 	}
 }

@@ -2,11 +2,15 @@ package server
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Hand-rolled Prometheus text exposition (version 0.0.4).  The server's
@@ -158,12 +162,64 @@ func (m *metrics) render(b *strings.Builder, gauges []gauge) {
 	for _, g := range gauges {
 		fmt.Fprintf(b, "# HELP %s %s\n", g.name, g.help)
 		fmt.Fprintf(b, "# TYPE %s %s\n", g.name, g.kind)
-		fmt.Fprintf(b, "%s %s\n", g.name, fmtFloat(g.value))
+		if g.labels != "" {
+			fmt.Fprintf(b, "%s{%s} %s\n", g.name, g.labels, fmtFloat(g.value))
+		} else {
+			fmt.Fprintf(b, "%s %s\n", g.name, fmtFloat(g.value))
+		}
 	}
 }
 
-// gauge is one single-valued exposition line.
+// gauge is one single-valued exposition line.  labels, when non-empty, is a
+// pre-rendered label set ("k=\"v\",...") emitted inside braces.
 type gauge struct {
 	name, help, kind string
 	value            float64
+	labels           string
+}
+
+// runtimeGauges samples the Go runtime and the obs tracer for /metrics.
+// ReadMemStats costs a stop-the-world on the order of tens of microseconds —
+// fine at scrape frequency.
+func runtimeGauges() []gauge {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := obs.ReadStats()
+	return []gauge{
+		{name: "go_goroutines", help: "Number of goroutines that currently exist.",
+			kind: "gauge", value: float64(runtime.NumGoroutine())},
+		{name: "go_heap_alloc_bytes", help: "Bytes of allocated heap objects.",
+			kind: "gauge", value: float64(ms.HeapAlloc)},
+		{name: "go_gc_pause_total_seconds", help: "Cumulative GC stop-the-world pause time.",
+			kind: "counter", value: float64(ms.PauseTotalNs) / 1e9},
+		{name: "go_gomaxprocs", help: "Value of GOMAXPROCS.",
+			kind: "gauge", value: float64(runtime.GOMAXPROCS(0))},
+		{name: "obs_spans_started_total", help: "Tracing spans started since process start.",
+			kind: "counter", value: float64(st.Spans)},
+		{name: "obs_traces_started_total", help: "Root traces started since process start.",
+			kind: "counter", value: float64(st.Traces)},
+		{name: "obs_span_overhead_seconds_total", help: "Cumulative time spent creating tracing spans.",
+			kind: "counter", value: float64(st.OverheadNS) / 1e9},
+	}
+}
+
+// buildInfoGauge is the conventional constant-1 info metric carrying build
+// metadata as labels.
+func buildInfoGauge() gauge {
+	path, version := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Path != "" {
+			path = bi.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	}
+	return gauge{
+		name:   "embedserver_build_info",
+		help:   "Build metadata; the value is always 1.",
+		kind:   "gauge",
+		value:  1,
+		labels: fmt.Sprintf("go_version=%q,path=%q,version=%q", runtime.Version(), path, version),
+	}
 }

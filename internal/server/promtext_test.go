@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, srv *Server) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rr.Code)
+	}
+	return rr.Body.String()
+}
+
+// sampleLine matches one exposition sample: name, optional {labels}, value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// parseExposition parses the text format into name → value (label-carrying
+// samples keep the braces in the key) and validates basic well-formedness:
+// every sample line parses, and every # TYPE'd family that emits samples was
+// declared before its first sample.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad metric type in %q", line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if !typed[m[1]] && !typed[base] {
+			t.Errorf("sample %q has no preceding # TYPE", line)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+func TestRuntimeGaugesExposed(t *testing.T) {
+	srv := New(Config{})
+	samples := parseExposition(t, scrape(t, srv))
+	for _, name := range []string{
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+		"go_gc_pause_total_seconds",
+		"go_gomaxprocs",
+		"obs_spans_started_total",
+		"obs_traces_started_total",
+		"obs_span_overhead_seconds_total",
+	} {
+		v, ok := samples[name]
+		if !ok {
+			t.Errorf("family %s missing from /metrics", name)
+			continue
+		}
+		if v < 0 {
+			t.Errorf("%s = %v, want >= 0", name, v)
+		}
+	}
+	if samples["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", samples["go_goroutines"])
+	}
+	if samples["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", samples["go_heap_alloc_bytes"])
+	}
+	if samples["go_gomaxprocs"] < 1 {
+		t.Errorf("go_gomaxprocs = %v, want >= 1", samples["go_gomaxprocs"])
+	}
+}
+
+func TestBuildInfoExposed(t *testing.T) {
+	srv := New(Config{})
+	body := scrape(t, srv)
+	re := regexp.MustCompile(`(?m)^embedserver_build_info\{go_version="go[^"]+",path="[^"]*",version="[^"]*"\} 1$`)
+	if !re.MatchString(body) {
+		t.Fatalf("no well-formed embedserver_build_info sample in:\n%s", body)
+	}
+}
+
+// TestObsCountersAdvance: serving a debug-traced request must move the span
+// counters the exposition reports.
+func TestObsCountersAdvance(t *testing.T) {
+	srv := New(Config{})
+	before := parseExposition(t, scrape(t, srv))["obs_spans_started_total"]
+	req := httptest.NewRequest(http.MethodPost, "/v1/embed?debug=trace", strings.NewReader(`{"shape":"4x4x4"}`))
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("embed: %d", rr.Code)
+	}
+	after := parseExposition(t, scrape(t, srv))["obs_spans_started_total"]
+	if after <= before {
+		t.Errorf("obs_spans_started_total did not advance: %v -> %v", before, after)
+	}
+}

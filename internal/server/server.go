@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/reshape"
 	"repro/internal/simnet"
 	"repro/internal/wrap"
@@ -69,6 +71,11 @@ type Config struct {
 	MaxNodes int
 	// Opts are the planner options (zero value: core.DefaultOptions).
 	Opts core.Options
+	// Logger, when non-nil, receives one structured access-log record per
+	// API request (request ID, endpoint, shape, source, status, duration).
+	// nil disables logging entirely — the hot path then allocates nothing
+	// for it, not even the request ID.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -160,27 +167,93 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps an API handler with load shedding, the in-flight gauge,
-// the per-request timeout context, and latency/request accounting.
+// the per-request timeout context, and latency/request accounting.  A debug
+// request (?debug=trace / X-Debug-Trace: 1) additionally runs under a
+// per-request obs root span whose phases the handlers fill in; when a logger
+// is configured every request emits one structured access-log record.  With
+// neither in play the wrapper is byte-for-byte the old hot path.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		logger := s.cfg.Logger
+		debug := debugRequested(r)
+		var meta *reqMeta
+		start := time.Now()
+		if debug || logger != nil {
+			meta = &reqMeta{id: nextRequestID(), debug: debug}
+			w.Header().Set("X-Request-Id", meta.id)
+		}
+		if debug {
+			rctx, root := obs.StartRoot(r.Context(), "request")
+			root.SetAttr("endpoint", endpoint)
+			root.SetAttr("request_id", meta.id)
+			meta.root = root
+			r = r.WithContext(rctx)
+		}
+		// The semaphore acquire is non-blocking (excess load sheds rather
+		// than queues), so queue-wait measures the shed decision itself; it
+		// is kept as a phase so the span schema is stable if that changes.
+		var qspan *obs.Span
+		if meta != nil && meta.root != nil {
+			_, qspan = obs.Start(r.Context(), "queue-wait")
+		}
 		select {
 		case s.sem <- struct{}{}:
+			qspan.End()
 		default:
+			qspan.End()
+			if meta != nil {
+				meta.root.End()
+			}
 			s.m.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, "server at capacity")
 			s.m.observe(endpoint, http.StatusTooManyRequests, 0)
+			if logger != nil {
+				logger.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+					slog.String("request_id", meta.id),
+					slog.String("endpoint", endpoint),
+					slog.String("method", r.Method),
+					slog.Bool("shed", true),
+					slog.Int("status", http.StatusTooManyRequests),
+					slog.Duration("duration", time.Since(start)))
+			}
 			return
 		}
 		s.m.inflight.Add(1)
-		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		if meta != nil {
+			ctx = context.WithValue(ctx, reqMetaKey, meta)
+		}
 		h(sw, r.WithContext(ctx))
 		cancel()
 		s.m.inflight.Add(-1)
 		<-s.sem
-		s.m.observe(endpoint, sw.code, time.Since(start).Seconds())
+		dur := time.Since(start)
+		if meta != nil && meta.root != nil {
+			meta.root.SetAttr("status", sw.code)
+			meta.root.End()
+		}
+		if logger != nil {
+			lvl := slog.LevelInfo
+			switch {
+			case sw.code >= 500:
+				lvl = slog.LevelError
+			case sw.code >= 400:
+				lvl = slog.LevelWarn
+			}
+			logger.LogAttrs(r.Context(), lvl, "request",
+				slog.String("request_id", meta.id),
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("shape", meta.shape),
+				slog.String("mode", meta.mode),
+				slog.String("source", meta.source),
+				slog.Bool("debug", debug),
+				slog.Int("status", sw.code),
+				slog.Duration("duration", dur))
+		}
+		s.m.observe(endpoint, sw.code, dur.Seconds())
 	})
 }
 
@@ -250,12 +323,24 @@ type cachedResult struct {
 
 // lookup is the cache → coalescer → compute path shared by the endpoints.
 // source reports how the request was served: "computed", "cache" or
-// "coalesced".
-func (s *Server) lookup(ctx context.Context, key string, compute func() (*cachedResult, error)) (res *cachedResult, source string, err error) {
-	if v, ok := s.cache.get(key); ok {
+// "coalesced".  Under a debug trace the phases appear as cache-lookup,
+// coalesce-wait and compute child spans; compute runs with the request's
+// cancellation detached (the flight must outlive a timed-out leader) but its
+// span values intact, so a leader's trace still contains the plan / build /
+// measure subtree.
+func (s *Server) lookup(ctx context.Context, key string, compute func(ctx context.Context) (*cachedResult, error)) (res *cachedResult, source string, err error) {
+	_, lspan := obs.Start(ctx, "cache-lookup")
+	v, hit := s.cache.get(key)
+	if lspan != nil { // guarded: boxing the attrs must not cost the hot path
+		lspan.SetAttr("key", key)
+		lspan.SetAttr("hit", hit)
+		lspan.End()
+	}
+	if hit {
 		return v, "cache", nil
 	}
 	computed := false // safe: the leader reads it only after the flight's done channel closes
+	wctx, wspan := obs.Start(ctx, "coalesce-wait")
 	v, led, err := s.flights.do(ctx, key, func() (*cachedResult, error) {
 		if v, ok := s.cache.get(key); ok {
 			// Lost the race against a flight that finished between our
@@ -264,13 +349,17 @@ func (s *Server) lookup(ctx context.Context, key string, compute func() (*cached
 		}
 		s.cache.countMiss()
 		computed = true
-		v, err := compute()
+		cctx, cspan := obs.Start(context.WithoutCancel(wctx), "compute")
+		cspan.SetAttr("key", key)
+		v, err := compute(cctx)
+		cspan.End()
 		if err != nil {
 			return nil, err
 		}
 		s.cache.put(key, v)
 		return v, nil
 	})
+	wspan.End()
 	if err != nil {
 		return nil, "", err
 	}
@@ -292,14 +381,15 @@ type PlanRequest struct {
 
 // PlanResponse is the /v1/plan reply.
 type PlanResponse struct {
-	Version       int    `json:"version"`
-	Shape         string `json:"shape"`
-	Nodes         int    `json:"nodes"`
-	CubeDim       int    `json:"cube_dim"`
-	Plan          string `json:"plan"`
-	Method        int    `json:"method"`
-	DilationBound int    `json:"dilation_bound"` // -1: no a-priori bound
-	Source        string `json:"source"`
+	Version       int        `json:"version"`
+	Shape         string     `json:"shape"`
+	Nodes         int        `json:"nodes"`
+	CubeDim       int        `json:"cube_dim"`
+	Plan          string     `json:"plan"`
+	Method        int        `json:"method"`
+	DilationBound int        `json:"dilation_bound"` // -1: no a-priori bound
+	Source        string     `json:"source"`
+	Debug         *DebugInfo `json:"debug,omitempty"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -313,12 +403,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, err)
 		return
 	}
+	meta := metaFrom(r.Context())
+	meta.setShape(sh, "")
 	// Plans are served in the caller's axis order — the planner's own
 	// canonical-shape cache already de-duplicates the search across
 	// permutations, so the LRU key stays exact here.
 	key := "plan|" + sh.String()
-	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
+	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
+		_, span := obs.Start(ctx, "plan")
 		p, err := s.planner.TryPlan(sh)
+		span.End()
 		if err != nil {
 			return nil, errBadRequest("%v", err)
 		}
@@ -328,7 +422,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{
+	meta.setSource(source)
+	resp := PlanResponse{
 		Version:       APIVersion,
 		Shape:         sh.String(),
 		Nodes:         sh.Nodes(),
@@ -337,7 +432,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Method:        res.method,
 		DilationBound: res.dilBound,
 		Source:        source,
-	})
+	}
+	if meta != nil && meta.debug {
+		resp.Debug = &DebugInfo{
+			RequestID: meta.id,
+			PlanTrace: s.debugProvenance(r.Context(), sh),
+		}
+		s.finishDebug(r.Context(), resp.Debug, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func planResult(p *core.Plan) *cachedResult {
@@ -368,6 +471,7 @@ type EmbedResponse struct {
 	Metrics       embed.Metrics `json:"metrics"`
 	Source        string        `json:"source"`
 	Embedding     *embed.Serial `json:"embedding,omitempty"`
+	Debug         *DebugInfo    `json:"debug,omitempty"`
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -390,15 +494,18 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, err)
 		return
 	}
+	meta := metaFrom(r.Context())
+	meta.setShape(sh, mode)
 	canon, _ := core.CanonicalShape(sh)
 	key := "embed|" + mode + "|" + canon.String()
-	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
-		return s.computeEmbed(canon, mode)
+	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
+		return s.computeEmbed(ctx, canon, mode)
 	})
 	if err != nil {
 		respondErr(w, err)
 		return
 	}
+	meta.setSource(source)
 	resp := EmbedResponse{
 		Version:       APIVersion,
 		Shape:         sh.String(),
@@ -418,32 +525,50 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		ser.Guest = sh.String()
 		resp.Embedding = ser
 	}
+	if meta != nil && meta.debug {
+		resp.Debug = &DebugInfo{RequestID: meta.id}
+		if mode == "decomposition" {
+			resp.Debug.PlanTrace = s.debugProvenance(r.Context(), canon)
+		}
+		s.finishDebug(r.Context(), resp.Debug, resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // computeEmbed builds and measures the canonical shape under one mode.
-func (s *Server) computeEmbed(canon mesh.Shape, mode string) (*cachedResult, error) {
+func (s *Server) computeEmbed(ctx context.Context, canon mesh.Shape, mode string) (*cachedResult, error) {
 	var res *cachedResult
 	var e *embed.Embedding
 	switch mode {
 	case "gray":
+		_, span := obs.Start(ctx, "build")
 		e = embed.Gray(canon)
+		span.End()
 		res = &cachedResult{cubeDim: e.N, dilBound: 1}
 	case "torus":
+		_, span := obs.Start(ctx, "build")
 		e = wrap.Embed(canon, s.cfg.Opts)
+		span.End()
 		res = &cachedResult{cubeDim: e.N, dilBound: -1}
 	default:
+		_, pspan := obs.Start(ctx, "plan")
 		p, err := s.planner.TryPlan(canon)
+		pspan.End()
 		if err != nil {
 			return nil, errBadRequest("%v", err)
 		}
 		res = planResult(p)
+		_, bspan := obs.Start(ctx, "build")
 		e = p.Build()
+		bspan.End()
 	}
-	if err := e.Verify(); err != nil {
+	_, vspan := obs.Start(ctx, "verify")
+	err := e.Verify()
+	vspan.End()
+	if err != nil {
 		return nil, fmt.Errorf("embedserver: built an invalid embedding: %w", err)
 	}
-	res.metrics = e.MeasureParallel(s.cfg.Workers)
+	res.metrics = e.MeasureParallelCtx(ctx, s.cfg.Workers)
 	res.measured = true
 	res.emb = e
 	return res, nil
@@ -487,6 +612,7 @@ type CompareResponse struct {
 	Rows    []CompareRow                 `json:"rows"`
 	Simnet  map[string]simnet.RoundStats `json:"simnet,omitempty"`
 	Source  string                       `json:"source"`
+	Debug   *DebugInfo                   `json:"debug,omitempty"`
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -500,18 +626,28 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, err)
 		return
 	}
+	meta := metaFrom(r.Context())
+	meta.setShape(sh, "")
 	canon, _ := core.CanonicalShape(sh)
 	key := fmt.Sprintf("compare|%s|simnet=%v", canon, req.Simnet)
-	res, source, err := s.lookup(r.Context(), key, func() (*cachedResult, error) {
-		return s.computeCompare(canon, req.Simnet)
+	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
+		return s.computeCompare(ctx, canon, req.Simnet)
 	})
 	if err != nil {
 		respondErr(w, err)
 		return
 	}
+	meta.setSource(source)
 	resp := *res.compare
 	resp.Shape = sh.String()
 	resp.Source = source
+	if meta != nil && meta.debug {
+		resp.Debug = &DebugInfo{
+			RequestID: meta.id,
+			PlanTrace: s.debugProvenance(r.Context(), canon),
+		}
+		s.finishDebug(r.Context(), resp.Debug, resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -519,13 +655,17 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // — Gray, snake, the decomposition planner, and (for two-dimensional
 // guests) the reshaping paths of internal/reshape — measures each, and
 // optionally simulates one stencil-exchange round per technique.
-func (s *Server) computeCompare(canon mesh.Shape, withSimnet bool) (*cachedResult, error) {
+func (s *Server) computeCompare(ctx context.Context, canon mesh.Shape, withSimnet bool) (*cachedResult, error) {
+	bctx, bspan := obs.Start(ctx, "build")
 	es := map[string]*embed.Embedding{
 		"gray":  embed.Gray(canon),
 		"snake": core.Snake(canon),
 	}
+	_, pspan := obs.Start(bctx, "plan")
 	p, err := s.planner.TryPlan(canon)
+	pspan.End()
 	if err != nil {
+		bspan.End()
 		return nil, errBadRequest("%v", err)
 	}
 	es["decomposition"] = p.Build()
@@ -535,6 +675,7 @@ func (s *Server) computeCompare(canon mesh.Shape, withSimnet bool) (*cachedResul
 			es["fold"] = f
 		}
 	}
+	bspan.End()
 	names := make([]string, 0, len(es))
 	for name := range es {
 		names = append(names, name)
@@ -542,10 +683,15 @@ func (s *Server) computeCompare(canon mesh.Shape, withSimnet bool) (*cachedResul
 	sort.Strings(names)
 	resp := &CompareResponse{Version: APIVersion}
 	for _, name := range names {
-		resp.Rows = append(resp.Rows, CompareRow{Technique: name, Metrics: es[name].MeasureParallel(s.cfg.Workers)})
+		tctx, tspan := obs.Start(ctx, "technique:"+name)
+		m := es[name].MeasureParallelCtx(tctx, s.cfg.Workers)
+		tspan.End()
+		resp.Rows = append(resp.Rows, CompareRow{Technique: name, Metrics: m})
 	}
 	if withSimnet {
+		_, sspan := obs.Start(ctx, "simnet")
 		resp.Simnet = simnet.CompareEmbeddingsParallel(es, s.cfg.Workers)
+		sspan.End()
 	}
 	return &cachedResult{compare: resp}, nil
 }
@@ -571,19 +717,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rs := s.cache.stats()
 	ps := s.planner.CacheStats()
+	gauges := []gauge{
+		{name: "embedserver_inflight", help: "API requests currently being served.", kind: "gauge", value: float64(s.m.inflight.Load())},
+		{name: "embedserver_shed_total", help: "Requests shed with 429 at the concurrency limit.", kind: "counter", value: float64(s.m.shed.Load())},
+		{name: "embedserver_coalesced_total", help: "Requests that joined an in-flight computation.", kind: "counter", value: float64(s.m.coalesced.Load())},
+		{name: "embedserver_result_cache_hits_total", help: "Result-cache (LRU) hits.", kind: "counter", value: float64(rs.Hits)},
+		{name: "embedserver_result_cache_misses_total", help: "Computations performed (thundering herds count once).", kind: "counter", value: float64(rs.Misses)},
+		{name: "embedserver_result_cache_evictions_total", help: "Result-cache LRU evictions.", kind: "counter", value: float64(rs.Evictions)},
+		{name: "embedserver_result_cache_entries", help: "Result-cache current size.", kind: "gauge", value: float64(rs.Size)},
+		{name: "embedserver_plan_cache_hits_total", help: "Planner plan-cache hits.", kind: "counter", value: float64(ps.Hits)},
+		{name: "embedserver_plan_cache_misses_total", help: "Planner plan-cache misses.", kind: "counter", value: float64(ps.Misses)},
+		{name: "embedserver_plan_cache_entries", help: "Planner plan-cache current size.", kind: "gauge", value: float64(ps.Size)},
+	}
+	gauges = append(gauges, runtimeGauges()...)
+	gauges = append(gauges, buildInfoGauge())
 	var b strings.Builder
-	s.m.render(&b, []gauge{
-		{"embedserver_inflight", "API requests currently being served.", "gauge", float64(s.m.inflight.Load())},
-		{"embedserver_shed_total", "Requests shed with 429 at the concurrency limit.", "counter", float64(s.m.shed.Load())},
-		{"embedserver_coalesced_total", "Requests that joined an in-flight computation.", "counter", float64(s.m.coalesced.Load())},
-		{"embedserver_result_cache_hits_total", "Result-cache (LRU) hits.", "counter", float64(rs.Hits)},
-		{"embedserver_result_cache_misses_total", "Computations performed (thundering herds count once).", "counter", float64(rs.Misses)},
-		{"embedserver_result_cache_evictions_total", "Result-cache LRU evictions.", "counter", float64(rs.Evictions)},
-		{"embedserver_result_cache_entries", "Result-cache current size.", "gauge", float64(rs.Size)},
-		{"embedserver_plan_cache_hits_total", "Planner plan-cache hits.", "counter", float64(ps.Hits)},
-		{"embedserver_plan_cache_misses_total", "Planner plan-cache misses.", "counter", float64(ps.Misses)},
-		{"embedserver_plan_cache_entries", "Planner plan-cache current size.", "gauge", float64(ps.Size)},
-	})
+	s.m.render(&b, gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

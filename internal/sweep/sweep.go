@@ -7,9 +7,14 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers normalizes a requested worker count: values below one mean "use
@@ -64,6 +69,86 @@ func Map[R any](n, workers int, fn func(i int) R) []R {
 		}()
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}
+
+// MapCtx is Map with observability: when ctx carries an active obs span the
+// pool runs under a "sweep" child span with one span per worker recording
+// items processed, busy time (cumulative time inside fn) and a lane for the
+// Chrome export, plus an imbalance summary (max worker busy time over the
+// even-share average) on the pool span.  fn receives a context carrying its
+// worker's span, so work items can open their own child spans.
+//
+// When no span rides ctx — or the tracer is disabled — MapCtx delegates to
+// Map and the only cost is the closure adapting fn.  Results are indexed by
+// item exactly like Map, so output is independent of scheduling either way.
+func MapCtx[R any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	sctx, pool := obs.Start(ctx, "sweep")
+	if pool == nil {
+		return Map(n, workers, func(i int) R { return fn(ctx, i) })
+	}
+	defer pool.End()
+	w := min(Workers(workers), n)
+	pool.SetAttr("items", n)
+	pool.SetAttr("workers", w)
+	out := make([]R, n)
+	busy := make([]int64, w)
+	items := make([]int64, w)
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+		once     sync.Once
+	)
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			wctx, ws := obs.Start(sctx, fmt.Sprintf("worker %d", wi))
+			ws.SetLane(wi + 1)
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+				ws.SetAttr("items", items[wi])
+				ws.SetAttr("busy_ns", busy[wi])
+				ws.End()
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				t0 := time.Now()
+				out[i] = fn(wctx, i)
+				busy[wi] += int64(time.Since(t0))
+				items[wi]++
+			}
+		}(wi)
+	}
+	wg.Wait()
+	var sum, maxBusy int64
+	minBusy := busy[0]
+	for _, b := range busy {
+		sum += b
+		maxBusy = max(maxBusy, b)
+		minBusy = min(minBusy, b)
+	}
+	pool.SetAttr("busy_total_ns", sum)
+	pool.SetAttr("busy_max_ns", maxBusy)
+	pool.SetAttr("busy_min_ns", minBusy)
+	if sum > 0 {
+		// 1.0 = perfectly even; w = one worker did everything.
+		pool.SetAttr("imbalance", float64(maxBusy)*float64(w)/float64(sum))
+	}
 	if panicked.Load() {
 		panic(panicVal)
 	}

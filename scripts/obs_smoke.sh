@@ -1,0 +1,70 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end check of the observability surface: boot
+# embedserver with the debug listener and JSON access log, ask /v1/embed and
+# /v1/plan for their own traces, scrape /metrics for the runtime gauges and
+# span counters, pull a pprof heap profile off the debug listener, and render
+# a Chrome trace with embedctl.  Backs `make obs-smoke` (part of `make check`).
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+
+"$GO" build -o "$tmp/embedserver" ./cmd/embedserver
+"$GO" build -o "$tmp/embedctl" ./cmd/embedctl
+
+"$tmp/embedserver" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -log-format json >"$tmp/log" 2>"$tmp/accesslog" &
+pid=$!
+
+addr="" daddr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^embedserver: listening on //p' "$tmp/log" | head -n 1)"
+    daddr="$(sed -n 's/^embedserver: debug listening on //p' "$tmp/log" | head -n 1)"
+    [ -n "$addr" ] && [ -n "$daddr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: server died:"; cat "$tmp/log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] && [ -n "$daddr" ] || { echo "obs-smoke: server never bound both listeners:"; cat "$tmp/log"; exit 1; }
+
+# A debug-traced embed must carry the span tree and strategy provenance.
+curl -fsS -X POST -d '{"shape":"5x6x7"}' "http://$addr/v1/embed?debug=trace" >"$tmp/embed.json"
+for want in '"request_id"' '"trace"' '"plan_trace"' '"compute"' '"cache-lookup"'; do
+    grep -q "$want" "$tmp/embed.json" || { echo "obs-smoke: embed debug block missing $want:"; cat "$tmp/embed.json"; exit 1; }
+done
+
+# The plan provenance must show a chosen strategy (the header variant also works).
+curl -fsS -X POST -H 'X-Debug-Trace: 1' -d '{"shape":"5x6x7"}' "http://$addr/v1/plan" >"$tmp/plan.json"
+grep -q '"chosen"' "$tmp/plan.json" || { echo "obs-smoke: plan provenance has no chosen strategy:"; cat "$tmp/plan.json"; exit 1; }
+
+# /metrics must expose the runtime gauges, span counters and build info.
+curl -fsS "http://$addr/metrics" >"$tmp/metrics"
+for want in go_goroutines go_heap_alloc_bytes go_gomaxprocs obs_spans_started_total embedserver_build_info; do
+    grep -q "^$want" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $want"; exit 1; }
+done
+
+# The debug listener serves pprof and expvar, and is NOT on the API listener.
+curl -fsS "http://$daddr/debug/pprof/heap?debug=1" | grep -q 'heap profile' || { echo "obs-smoke: no pprof heap on debug listener"; exit 1; }
+curl -fsS "http://$daddr/debug/vars" | grep -q '"memstats"' || { echo "obs-smoke: no expvar on debug listener"; exit 1; }
+if curl -fsS "http://$addr/debug/pprof/heap?debug=1" >/dev/null 2>&1; then
+    echo "obs-smoke: pprof leaked onto the API listener"; exit 1
+fi
+
+# The JSON access log must have recorded the traced requests.
+grep -q '"endpoint":"embed"' "$tmp/accesslog" || { echo "obs-smoke: no access-log line for /v1/embed:"; cat "$tmp/accesslog"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "obs-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }
+pid=""
+
+# embedctl trace must emit a Chrome trace-event document.
+"$tmp/embedctl" trace -o "$tmp/trace.json" 5x6x7 >/dev/null
+grep -q '"traceEvents"' "$tmp/trace.json" || { echo "obs-smoke: no traceEvents in embedctl trace output"; exit 1; }
+grep -q '"ph": *"X"' "$tmp/trace.json" || { echo "obs-smoke: no complete events in trace"; exit 1; }
+
+# embedctl explain must show the strategy provenance markers.
+"$tmp/embedctl" explain 5x6x7 >"$tmp/explain.txt"
+grep -q '^ *\* .*chosen' "$tmp/explain.txt" || { echo "obs-smoke: explain shows no chosen strategy:"; cat "$tmp/explain.txt"; exit 1; }
+
+echo "obs-smoke: ok ($addr, debug $daddr)"
