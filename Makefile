@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke obs-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke obs-smoke jobs-smoke
 
-check: vet build test race bench-short serve-smoke obs-smoke
+check: vet build test race bench-short serve-smoke obs-smoke jobs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,11 @@ test:
 # Race-check the packages with shared mutable state: the planner cache,
 # the sweep engine, the fused metrics engine (concurrent Measure on a
 # shared Embedding), the HTTP server (result cache + coalescer under a
-# 32-goroutine herd), the span tracer (concurrent child registration), and
-# the root facade's shared default planner.
+# 32-goroutine herd), the job manager (concurrent submit/cancel/watch over
+# checkpointing runners), the client SDK, the span tracer (concurrent child
+# registration), and the root facade's shared default planner.
 race:
-	$(GO) test -race ./internal/core ./internal/embed ./internal/obs ./internal/server ./internal/simnet ./internal/stats ./internal/sweep .
+	$(GO) test -race ./internal/core ./internal/embed ./internal/jobs ./internal/obs ./internal/server ./internal/simnet ./internal/stats ./internal/sweep ./pkg/client .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -32,13 +33,16 @@ bench-short:
 
 # Machine-readable benchmarks for the repo's perf trajectory: the PR 2
 # metrics-engine suite, the PR 3 server-path handlers (cached vs uncached
-# /v1/embed via httptest) and the PR 4 observability overhead pairs
-# (Measure vs MeasureTraced, cached handler vs tracing-off vs ?debug=trace);
-# see EXPERIMENTS.md for the recorded numbers.
+# /v1/embed via httptest), the PR 4 observability overhead pairs
+# (Measure vs MeasureTraced, cached handler vs tracing-off vs ?debug=trace)
+# and the PR 5 batch-job end-to-end throughput (submit → chunks →
+# checkpoints → finish, reported as shapes/sec); see EXPERIMENTS.md for the
+# recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.
@@ -50,6 +54,13 @@ serve-smoke:
 # explain/trace.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Crash-resilience check for the batch-job subsystem: submit a census via
+# embedctl, SIGKILL the server mid-run, restart on the same -data-dir, and
+# require the resumed job's result stream to be byte-identical to an
+# uninterrupted run.
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

@@ -1,7 +1,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/mesh"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 // cmdBench is the load-generator mode: it drives a running embedserver's
@@ -55,19 +57,15 @@ func cmdBench(args []string) {
 		os.Exit(2)
 	}
 
-	client := &http.Client{Timeout: 2 * time.Minute}
-	url := strings.TrimRight(*addr, "/") + "/v1/embed"
+	// Retries are disabled: a load generator must report the failure, not
+	// smooth it into a longer latency sample.
+	c := client.New(*addr,
+		client.WithHTTPClient(&http.Client{Timeout: 2 * time.Minute}),
+		client.WithRetries(0))
 	request := func(shape string) (time.Duration, error) {
-		body, _ := json.Marshal(map[string]any{"shape": shape, "mode": *mode})
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
+		if _, err := c.Embed(context.Background(), api.EmbedRequest{Shape: shape, Mode: *mode}); err != nil {
 			return 0, err
-		}
-		defer resp.Body.Close()
-		_, _ = io.Copy(io.Discard, resp.Body)
-		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("status %d", resp.StatusCode)
 		}
 		return time.Since(start), nil
 	}

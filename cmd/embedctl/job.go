@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// cmdJob drives the batch-job endpoints of a running embedserver through
+// the pkg/client SDK:
+//
+//	embedctl job submit -kind census -max-n 9
+//	embedctl job status <id>
+//	embedctl job watch <id>            # live progress until terminal
+//	embedctl job results <id>          # stream NDJSON to stdout (resumable)
+//	embedctl job cancel <id>
+//	embedctl job list
+func cmdJob(args []string) {
+	if len(args) < 1 {
+		jobUsage()
+	}
+	sub, rest := args[0], args[1:]
+	// Ctrl-C aborts the in-flight call cleanly; a job keeps running
+	// server-side unless explicitly cancelled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	switch sub {
+	case "submit":
+		jobSubmit(ctx, rest)
+	case "status":
+		st, err := jobClient(rest, 1).c.Job(ctx, jobID(rest))
+		jobCheck(err)
+		printJSON(st)
+	case "watch":
+		jobWatch(ctx, rest)
+	case "results":
+		jobResults(ctx, rest)
+	case "cancel":
+		st, err := jobClient(rest, 1).c.CancelJob(ctx, jobID(rest))
+		jobCheck(err)
+		printJSON(st)
+	case "list":
+		list, err := jobClient(rest, 0).c.Jobs(ctx)
+		jobCheck(err)
+		for _, st := range list {
+			fmt.Printf("%-20s %-10s %-10s %6.1f%%  %s\n", st.ID, st.Kind, st.State,
+				pct(st.Progress.ChunksDone, st.Progress.ChunksTotal), jobNote(st))
+		}
+	default:
+		jobUsage()
+	}
+}
+
+func jobUsage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  embedctl job submit [-addr URL] -kind census|epsilon|plansweep
+                      [-max-n N] [-dims K] [-max-axis L] [-max-nodes M]
+                      [-workers W] [-watch]
+  embedctl job status  [-addr URL] <id>
+  embedctl job watch   [-addr URL] <id>
+  embedctl job results [-addr URL] [-offset B] <id>
+  embedctl job cancel  [-addr URL] <id>
+  embedctl job list    [-addr URL]
+`)
+	os.Exit(2)
+}
+
+// jobFlags is the flag set every job subcommand shares; positional args
+// after the flags are the job ID (when the subcommand takes one).
+type jobFlags struct {
+	c    *client.Client
+	fs   *flag.FlagSet
+	args []string
+}
+
+func jobClient(args []string, positional int) *jobFlags {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	_ = fs.Parse(args)
+	if fs.NArg() != positional {
+		jobUsage()
+	}
+	return &jobFlags{c: client.New(*addr), fs: fs, args: fs.Args()}
+}
+
+func jobID(args []string) string {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	fs.String("addr", "", "")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		jobUsage()
+	}
+	return fs.Arg(0)
+}
+
+func jobCheck(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func pct(done, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(done) / float64(total)
+}
+
+func jobNote(st api.JobStatus) string {
+	switch st.State {
+	case api.JobFailed:
+		return st.Error
+	case api.JobRunning:
+		if st.Progress.ETAMS > 0 {
+			return fmt.Sprintf("%.0f shapes/s, ETA %s",
+				st.Progress.ShapesPerSec, (time.Duration(st.Progress.ETAMS) * time.Millisecond).Round(time.Second))
+		}
+	}
+	return ""
+}
+
+func jobSubmit(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("job submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	kind := fs.String("kind", "", "job kind: census, epsilon or plansweep")
+	maxN := fs.Int("max-n", 0, "census/epsilon domain exponent (axes range over 1..2^N)")
+	dims := fs.Int("dims", 3, "plansweep shape dimensionality")
+	maxAxis := fs.Int("max-axis", 16, "plansweep axis bound")
+	maxNodes := fs.Int("max-nodes", 1<<12, "plansweep node bound")
+	workers := fs.Int("workers", 0, "per-chunk worker bound (0: server default)")
+	watch := fs.Bool("watch", false, "watch progress until the job finishes")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		jobUsage()
+	}
+	req := api.JobSubmitRequest{Kind: api.JobKind(*kind), Workers: *workers}
+	switch req.Kind {
+	case api.JobCensus:
+		req.Census = &api.CensusParams{MaxN: *maxN}
+	case api.JobEpsilon:
+		req.Epsilon = &api.EpsilonParams{MaxN: *maxN}
+	case api.JobPlanSweep:
+		req.PlanSweep = &api.PlanSweepParams{Dims: *dims, MaxAxis: *maxAxis, MaxNodes: *maxNodes}
+	default:
+		jobUsage()
+	}
+	c := client.New(*addr)
+	st, err := c.SubmitJob(ctx, req)
+	jobCheck(err)
+	if !*watch {
+		printJSON(st)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s\n", st.ID)
+	fin, err := c.WatchJob(ctx, st.ID, time.Second, watchLine)
+	jobCheck(err)
+	fmt.Fprintln(os.Stderr)
+	printJSON(fin)
+}
+
+func jobWatch(ctx context.Context, args []string) {
+	jf := jobClient(args, 1)
+	fin, err := jf.c.WatchJob(ctx, jf.args[0], time.Second, watchLine)
+	jobCheck(err)
+	fmt.Fprintln(os.Stderr)
+	printJSON(fin)
+	if fin.State != api.JobDone {
+		os.Exit(1)
+	}
+}
+
+// watchLine renders one carriage-returned progress line per poll.
+func watchLine(st api.JobStatus) {
+	fmt.Fprintf(os.Stderr, "\r%-10s %5.1f%%  %d/%d chunks  %d shapes  %s   ",
+		st.State, pct(st.Progress.ChunksDone, st.Progress.ChunksTotal),
+		st.Progress.ChunksDone, st.Progress.ChunksTotal, st.Progress.Shapes, jobNote(st))
+}
+
+func jobResults(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("job results", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	offset := fs.Int64("offset", 0, "resume the stream from this byte offset")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		jobUsage()
+	}
+	c := client.New(*addr)
+	rc, err := c.JobResults(ctx, fs.Arg(0), *offset)
+	jobCheck(err)
+	defer rc.Close()
+	_, err = io.Copy(os.Stdout, rc)
+	jobCheck(err)
+}

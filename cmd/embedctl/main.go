@@ -45,6 +45,10 @@ func usage() {
                                         embedserver; report cold latency and
                                         warm p50/p95/p99 (-json: machine-
                                         readable, schema of cmd/benchjson)
+  embedctl job submit|status|watch|results|cancel|list
+                                        drive batch-sweep jobs on a running
+                                        embedserver (run "embedctl job" for
+                                        the full flag list)
   embedctl explain [-build] <shape>     show the planner's strategy
                                         provenance: every strategy tried,
                                         skipped (with the gate reason) or
@@ -78,6 +82,8 @@ func main() {
 		cmdSweep(args)
 	case "bench":
 		cmdBench(args)
+	case "job":
+		cmdJob(args)
 	case "explain":
 		cmdExplain(args)
 	case "trace":

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/mesh"
 	"repro/internal/sweep"
 )
 
@@ -25,7 +24,7 @@ func cmdSweep(args []string) {
 		usage()
 	}
 
-	shapes := enumerateSorted(*dims, *maxLen, *maxNodes)
+	shapes := core.SortedShapes(*dims, *maxLen, *maxNodes)
 	if len(shapes) == 0 {
 		fmt.Println("no shapes in range")
 		return
@@ -80,27 +79,4 @@ func cmdSweep(args []string) {
 	fmt.Printf("minimal cube: %d/%d\n", minimal, len(shapes))
 	st := planner.CacheStats()
 	fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Size)
-}
-
-// enumerateSorted lists all shapes with dims axes, 1 ≤ a₁ ≤ … ≤ a_k ≤
-// maxLen and at most maxNodes nodes, in lexicographic order.
-func enumerateSorted(dims, maxLen, maxNodes int) []mesh.Shape {
-	var out []mesh.Shape
-	cur := make(mesh.Shape, dims)
-	var rec func(i, lo, nodes int)
-	rec = func(i, lo, nodes int) {
-		if i == dims {
-			out = append(out, cur.Clone())
-			return
-		}
-		for l := lo; l <= maxLen; l++ {
-			if nodes*l > maxNodes {
-				break
-			}
-			cur[i] = l
-			rec(i+1, l, nodes*l)
-		}
-	}
-	rec(0, 1, 1)
-	return out
 }

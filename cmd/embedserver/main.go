@@ -19,9 +19,23 @@
 //	-tracing=false                     kill switch for the span tracer
 //	                                   behind ?debug=trace
 //
+// Batch jobs:
+//
+//	-data-dir DIR                      enable the /v1/jobs batch subsystem,
+//	                                   persisting job state, checkpoints and
+//	                                   NDJSON results under DIR; on restart
+//	                                   unfinished jobs resume from their
+//	                                   last checkpoint with byte-identical
+//	                                   result streams
+//	-job-queue N                       bounded submission queue (429 beyond)
+//	-job-runners N                     concurrent job executors
+//	-job-workers N                     default per-chunk worker bound
+//	-checkpoint-every N                chunks between checkpoints
+//
 // The server prints "embedserver: listening on HOST:PORT" once the listener
 // is bound (so -addr :0 is scriptable) and drains in-flight requests on
-// SIGINT/SIGTERM before exiting.
+// SIGINT/SIGTERM before exiting; running jobs checkpoint and park as queued
+// so the next start picks them up.
 package main
 
 import (
@@ -39,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -55,6 +70,11 @@ func main() {
 	noLog := flag.Bool("no-log", false, "disable the structured access log")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener serving net/http/pprof and expvar (empty: off)")
 	tracing := flag.Bool("tracing", true, "enable the span tracer behind ?debug=trace / X-Debug-Trace")
+	dataDir := flag.String("data-dir", "", "enable /v1/jobs, persisting job state and results under this directory (empty: jobs disabled)")
+	jobQueue := flag.Int("job-queue", 8, "bounded job submission queue; full submissions get 429")
+	jobRunners := flag.Int("job-runners", 1, "concurrent job executors")
+	jobWorkers := flag.Int("job-workers", 0, "default per-chunk worker bound for jobs (<1: GOMAXPROCS)")
+	checkpointEvery := flag.Int("checkpoint-every", 8, "chunks between job checkpoints")
 	flag.Parse()
 
 	obs.SetEnabled(*tracing)
@@ -85,6 +105,25 @@ func main() {
 		Timeout:     *timeout,
 		Logger:      logger,
 	})
+	var jobMgr *jobs.Manager
+	if *dataDir != "" {
+		var err error
+		jobMgr, err = jobs.Open(jobs.Config{
+			DataDir:         *dataDir,
+			QueueDepth:      *jobQueue,
+			Runners:         *jobRunners,
+			DefaultWorkers:  *jobWorkers,
+			CheckpointEvery: *checkpointEvery,
+			Planner:         s.Planner(), // jobs warm the serving path's plan cache
+			Logger:          logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embedserver: jobs:", err)
+			os.Exit(1)
+		}
+		s.AttachJobs(jobMgr)
+		fmt.Printf("embedserver: batch jobs enabled under %s\n", *dataDir)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "embedserver:", err)
@@ -134,6 +173,14 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "embedserver:", err)
 			os.Exit(1)
+		}
+		if jobMgr != nil {
+			// Running jobs checkpoint and park as queued; the next start
+			// resumes them with byte-identical result streams.
+			if err := jobMgr.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "embedserver: jobs shutdown:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

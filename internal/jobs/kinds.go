@@ -1,0 +1,302 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/pkg/api"
+)
+
+// Parameter bounds enforced at submission.  They keep a single job inside
+// the paper's domain (censuses up to the 512×512×512 coverage sweep) and
+// keep checkpoint aggregates small enough to rewrite every few chunks.
+const (
+	maxCensusN    = 9
+	maxEpsilonN   = 9
+	maxSweepDims  = 6
+	maxSweepAxis  = 512
+	maxSweepNodes = 1 << 22
+)
+
+// kindRunner is one job kind's execution engine.  The manager drives it
+// chunk by chunk: chunks execute sequentially in index order (parallelism
+// lives inside a chunk), which is what makes the record stream and the
+// running aggregate deterministic and therefore checkpointable.
+//
+// Implementations must mutate their running aggregate only after all
+// fallible work of the chunk has succeeded, so a panicked or cancelled
+// attempt leaves the aggregate exactly as it was and the chunk can be
+// retried or resumed without double counting.
+type kindRunner interface {
+	// chunks returns the fixed number of chunks.
+	chunks() int
+	// runChunk appends the chunk's NDJSON records to buf and returns the
+	// number of shapes it processed.
+	runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error)
+	// finish appends the final records (cumulative rows, summary) after the
+	// last chunk; shapes is the job-wide shape count.
+	finish(buf *bytes.Buffer, shapes uint64) error
+	// snapshot and restore round-trip the running aggregate through a
+	// checkpoint.  snapshot may return nil for stateless kinds.
+	snapshot() (json.RawMessage, error)
+	restore(agg json.RawMessage) error
+}
+
+// buildRunner validates a submission and constructs its runner.  Validation
+// failures wrap ErrBadRequest so the API layer can map them to 400s.
+func buildRunner(req *api.JobSubmitRequest, workers int, planner *core.Planner) (kindRunner, error) {
+	switch req.Kind {
+	case api.JobCensus:
+		p := req.Census
+		if p == nil {
+			return nil, fmt.Errorf("%w: kind %q requires the census parameter block", ErrBadRequest, req.Kind)
+		}
+		if p.MaxN < 1 || p.MaxN > maxCensusN {
+			return nil, fmt.Errorf("%w: census max_n must be 1..%d, got %d", ErrBadRequest, maxCensusN, p.MaxN)
+		}
+		return &censusRunner{maxN: p.MaxN, workers: workers}, nil
+	case api.JobEpsilon:
+		p := req.Epsilon
+		if p == nil {
+			return nil, fmt.Errorf("%w: kind %q requires the epsilon parameter block", ErrBadRequest, req.Kind)
+		}
+		if p.MaxN < 1 || p.MaxN > maxEpsilonN {
+			return nil, fmt.Errorf("%w: epsilon max_n must be 1..%d, got %d", ErrBadRequest, maxEpsilonN, p.MaxN)
+		}
+		return &epsilonRunner{maxN: p.MaxN, workers: workers}, nil
+	case api.JobPlanSweep:
+		p := req.PlanSweep
+		if p == nil {
+			return nil, fmt.Errorf("%w: kind %q requires the plansweep parameter block", ErrBadRequest, req.Kind)
+		}
+		if p.Dims < 1 || p.Dims > maxSweepDims {
+			return nil, fmt.Errorf("%w: plansweep dims must be 1..%d, got %d", ErrBadRequest, maxSweepDims, p.Dims)
+		}
+		if p.MaxAxis < 1 || p.MaxAxis > maxSweepAxis {
+			return nil, fmt.Errorf("%w: plansweep max_axis must be 1..%d, got %d", ErrBadRequest, maxSweepAxis, p.MaxAxis)
+		}
+		if p.MaxNodes < 1 || p.MaxNodes > maxSweepNodes {
+			return nil, fmt.Errorf("%w: plansweep max_nodes must be 1..%d, got %d", ErrBadRequest, maxSweepNodes, p.MaxNodes)
+		}
+		return &plansweepRunner{
+			params:  *p,
+			workers: workers,
+			planner: planner,
+			hist:    map[string]uint64{},
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, req.Kind)
+	}
+}
+
+// writeRecord appends one NDJSON line.
+func writeRecord(buf *bytes.Buffer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// censusRunner runs the Figure 2 coverage census.  One chunk per first axis
+// a = 1..2^maxN; the aggregate is the per-bucket integer tally the
+// cumulative rows are rendered from.
+type censusRunner struct {
+	maxN    int
+	workers int
+	agg     []stats.CensusTally
+}
+
+func (r *censusRunner) chunks() int { return 1 << uint(r.maxN) }
+
+func (r *censusRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error) {
+	a := chunk + 1
+	part, err := stats.CensusShard(ctx, a, r.maxN, r.workers)
+	if err != nil {
+		return 0, err
+	}
+	rec := api.CensusShardRecord{Type: api.RecordCensusShard, A: a}
+	var shapes uint64
+	for n, t := range part {
+		if t.Total == 0 {
+			continue
+		}
+		rec.Buckets = append(rec.Buckets, api.CensusBucket{N: n, Count: t.Count, Eps2: t.Eps2, Total: t.Total})
+		shapes += t.Total
+	}
+	if err := writeRecord(buf, rec); err != nil {
+		return 0, err
+	}
+	r.agg = stats.MergeCensusTallies(r.agg, part)
+	return shapes, nil
+}
+
+func (r *censusRunner) finish(buf *bytes.Buffer, shapes uint64) error {
+	rows := stats.CensusRows(r.maxN, r.agg)
+	for _, row := range rows {
+		rec := api.CensusRowRecord{
+			Type: api.RecordCensusRow, N: row.N, S: row.S, S4Eps2: row.S4Eps2,
+			Total: row.Total, Exceptions: row.Exceptions,
+		}
+		if err := writeRecord(buf, rec); err != nil {
+			return err
+		}
+	}
+	return writeRecord(buf, api.SummaryRecord{
+		Type: api.RecordSummary, Kind: api.JobCensus, Chunks: r.chunks(),
+		Shapes: shapes, Exceptions: rows[len(rows)-1].Exceptions,
+	})
+}
+
+func (r *censusRunner) snapshot() (json.RawMessage, error) { return json.Marshal(r.agg) }
+
+func (r *censusRunner) restore(agg json.RawMessage) error {
+	var t []stats.CensusTally
+	if err := json.Unmarshal(agg, &t); err != nil {
+		return err
+	}
+	if len(t) != r.maxN+1 {
+		return fmt.Errorf("jobs: census checkpoint has %d buckets, want %d", len(t), r.maxN+1)
+	}
+	r.agg = t
+	return nil
+}
+
+// epsilonRunner runs the ε-distribution table, one chunk (and one record)
+// per domain exponent.  Rows are independent, so there is no aggregate.
+type epsilonRunner struct {
+	maxN    int
+	workers int
+}
+
+func (r *epsilonRunner) chunks() int { return r.maxN }
+
+func (r *epsilonRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error) {
+	n := chunk + 1
+	d, err := stats.Figure2EpsilonCtx(ctx, n, r.workers)
+	if err != nil {
+		return 0, err
+	}
+	rec := api.EpsilonRowRecord{
+		Type: api.RecordEpsilonRow, N: n,
+		Eps1: d.Eps1, Eps2: d.Eps2, Eps4: d.Eps4, EpsWorse: d.EpsWorse,
+	}
+	if err := writeRecord(buf, rec); err != nil {
+		return 0, err
+	}
+	return uint64(1) << uint(3*n), nil // ordered triples in the 2^n domain
+}
+
+func (r *epsilonRunner) finish(buf *bytes.Buffer, shapes uint64) error {
+	return writeRecord(buf, api.SummaryRecord{
+		Type: api.RecordSummary, Kind: api.JobEpsilon, Chunks: r.maxN, Shapes: shapes,
+	})
+}
+
+func (r *epsilonRunner) snapshot() (json.RawMessage, error) { return nil, nil }
+func (r *epsilonRunner) restore(json.RawMessage) error      { return nil }
+
+// plansweepRunner plans every sorted shape in range, one chunk per first
+// axis (core.SortedShapesFrom), one record per shape in enumeration order.
+// The aggregate is the dilation histogram and minimal-cube count of the
+// summary line.
+type plansweepRunner struct {
+	params  api.PlanSweepParams
+	workers int
+	planner *core.Planner
+	hist    map[string]uint64
+	minimal uint64
+}
+
+func (r *plansweepRunner) chunks() int { return r.params.MaxAxis }
+
+func (r *plansweepRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error) {
+	p := r.params
+	shapes := core.SortedShapesFrom(chunk+1, p.Dims, p.MaxAxis, p.MaxNodes)
+	if len(shapes) == 0 {
+		return 0, nil
+	}
+	recs, err := sweep.FoldCtx(ctx, len(shapes), r.workers,
+		func(i int) api.PlanRecord { return r.planRecord(shapes[i]) },
+		make([]api.PlanRecord, 0, len(shapes)),
+		func(acc []api.PlanRecord, rec api.PlanRecord) []api.PlanRecord { return append(acc, rec) })
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		if err := writeRecord(buf, rec); err != nil {
+			return 0, err
+		}
+	}
+	for _, rec := range recs {
+		key := "unknown"
+		if rec.DilationBound >= 0 {
+			key = strconv.Itoa(rec.DilationBound)
+		}
+		r.hist[key]++
+		if rec.Minimal {
+			r.minimal++
+		}
+	}
+	return uint64(len(shapes)), nil
+}
+
+func (r *plansweepRunner) planRecord(s mesh.Shape) api.PlanRecord {
+	p := r.planner.Plan(s)
+	dil := p.Dilation
+	if dil == core.DilationUnknown {
+		dil = -1
+	}
+	rec := api.PlanRecord{
+		Type: api.RecordPlan, Shape: s.String(), Nodes: s.Nodes(),
+		CubeDim: p.CubeDim, Plan: p.String(), Method: p.Method,
+		DilationBound: dil, Minimal: p.Minimal(),
+	}
+	if len(s) == 3 {
+		rec.BestMethod = stats.BestMethod(s[0], s[1], s[2])
+		e := stats.RelExpansion(s[0], s[1], s[2])
+		rec.RelExpansion = e[:]
+	}
+	return rec
+}
+
+func (r *plansweepRunner) finish(buf *bytes.Buffer, shapes uint64) error {
+	rec := api.SummaryRecord{
+		Type: api.RecordSummary, Kind: api.JobPlanSweep,
+		Chunks: r.chunks(), Shapes: shapes, Minimal: r.minimal,
+	}
+	if len(r.hist) > 0 {
+		rec.DilationHist = r.hist
+	}
+	return writeRecord(buf, rec)
+}
+
+type plansweepAgg struct {
+	Hist    map[string]uint64 `json:"hist"`
+	Minimal uint64            `json:"minimal"`
+}
+
+func (r *plansweepRunner) snapshot() (json.RawMessage, error) {
+	return json.Marshal(plansweepAgg{Hist: r.hist, Minimal: r.minimal})
+}
+
+func (r *plansweepRunner) restore(agg json.RawMessage) error {
+	var a plansweepAgg
+	if err := json.Unmarshal(agg, &a); err != nil {
+		return err
+	}
+	if a.Hist == nil {
+		a.Hist = map[string]uint64{}
+	}
+	r.hist, r.minimal = a.Hist, a.Minimal
+	return nil
+}

@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/obs"
 )
@@ -96,27 +95,20 @@ func debugRequested(r *http.Request) bool {
 	return r.Header.Get("X-Debug-Trace") == "1"
 }
 
-// DebugInfo is the "debug" block attached to API responses on request.
-type DebugInfo struct {
-	RequestID string `json:"request_id"`
-	// Trace is the request's span tree.  The root span is still open while
-	// the response is being written, so it is snapshotted mid-flight and
-	// marked unfinished; its duration is the elapsed time at snapshot.
-	Trace *obs.SpanJSON `json:"trace,omitempty"`
-	// PlanTrace is the planner's strategy provenance (cache-bypassed), for
-	// endpoints that plan a decomposition.
-	PlanTrace *core.PlanTrace `json:"plan_trace,omitempty"`
-}
-
 // debugProvenance runs the cache-bypassed planner provenance pass for a
-// debug request.  Failures are swallowed: the shape already planned once on
-// the serving path, and a debug block without provenance beats a 500.
-func (s *Server) debugProvenance(ctx context.Context, sh mesh.Shape) *core.PlanTrace {
+// debug request and marshals it for api.DebugInfo's raw PlanTrace slot.
+// Failures are swallowed: the shape already planned once on the serving
+// path, and a debug block without provenance beats a 500.
+func (s *Server) debugProvenance(ctx context.Context, sh mesh.Shape) json.RawMessage {
 	_, pt, err := s.planner.PlanTraced(ctx, sh)
 	if err != nil {
 		return nil
 	}
-	return pt
+	raw, err := json.Marshal(pt)
+	if err != nil {
+		return nil
+	}
+	return raw
 }
 
 // finishDebug completes a debug block just before the response is encoded:
@@ -136,5 +128,7 @@ func (s *Server) finishDebug(ctx context.Context, di *DebugInfo, resp any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
 	esp.End()
-	di.Trace = m.root.Snapshot()
+	if raw, err := json.Marshal(m.root.Snapshot()); err == nil {
+		di.Trace = raw
+	}
 }

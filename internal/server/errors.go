@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/pkg/api"
+)
+
+// Every non-2xx response the service emits goes through writeAPIError, so
+// the wire sees exactly one failure shape: the api.ErrorResponse envelope,
+// with the machine-readable code, the Retry-After hint mirrored between
+// header and body, and the request ID for log/trace correlation.
+
+// apiError carries an HTTP status, an envelope code and an optional retry
+// hint through the compute path.
+type apiError struct {
+	status     int
+	code       api.ErrorCode
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(format string, a ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: fmt.Sprintf(format, a...)}
+}
+
+func errTooLarge(format string, a ...any) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, code: api.CodeShapeTooLarge, msg: fmt.Sprintf(format, a...)}
+}
+
+func errUnavailable(msg string) *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, code: api.CodeUnavailable, msg: msg}
+}
+
+// writeAPIError emits the envelope.  A retry hint becomes both the
+// Retry-After header (whole seconds, rounded up, per RFC 9110) and the
+// millisecond-precision retry_after_ms body field.
+func writeAPIError(w http.ResponseWriter, meta *reqMeta, e *apiError) {
+	if e.retryAfter > 0 {
+		secs := (e.retryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	}
+	env := api.ErrorResponse{
+		Version: api.Version,
+		Error: &api.Error{
+			Code:         e.code,
+			Message:      e.msg,
+			RetryAfterMS: e.retryAfter.Milliseconds(),
+		},
+	}
+	if meta != nil {
+		env.Error.RequestID = meta.id
+	}
+	writeJSON(w, e.status, env)
+}
+
+// respondErr maps a compute/flight error onto the envelope.  Context
+// deadline becomes 504 with a retry hint — the work continues detached and
+// lands in the cache, so the retry is usually a hit; a client cancel gets
+// the non-standard 499 purely for the metrics — the client is gone.
+func respondErr(w http.ResponseWriter, r *http.Request, err error) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+	case errors.Is(err, context.DeadlineExceeded):
+		ae = &apiError{
+			status: http.StatusGatewayTimeout, code: api.CodeTimeout,
+			msg:        "deadline exceeded; result will be cached when ready",
+			retryAfter: time.Second,
+		}
+	case errors.Is(err, context.Canceled):
+		ae = &apiError{status: 499, code: api.CodeCanceled, msg: "client closed request"}
+	default:
+		ae = &apiError{status: http.StatusInternalServerError, code: api.CodeInternal, msg: err.Error()}
+	}
+	writeAPIError(w, metaFrom(r.Context()), ae)
+}
+
+// jobsError maps the job manager's sentinel errors onto envelope codes.
+func jobsError(err error) *apiError {
+	switch {
+	case errors.Is(err, jobs.ErrBadRequest):
+		return &apiError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: err.Error()}
+	case errors.Is(err, jobs.ErrNotFound):
+		return &apiError{status: http.StatusNotFound, code: api.CodeNotFound, msg: err.Error()}
+	case errors.Is(err, jobs.ErrQueueFull):
+		return &apiError{
+			status: http.StatusTooManyRequests, code: api.CodeQueueFull,
+			msg: "job queue is full; the job was not accepted — resubmit later", retryAfter: 2 * time.Second,
+		}
+	case errors.Is(err, jobs.ErrClosed):
+		return errUnavailable("job manager is draining")
+	default:
+		return &apiError{status: http.StatusInternalServerError, code: api.CodeInternal, msg: err.Error()}
+	}
+}

@@ -1,11 +1,20 @@
 // Package server exposes the planner, the metrics engine and the network
 // simulator as a production HTTP service (stdlib net/http only):
 //
-//	POST /v1/plan     plan a shape without building it
-//	POST /v1/embed    plan + build + measure (optionally the serialized map)
-//	POST /v1/compare  per-technique metrics, optionally a simnet stencil round
-//	GET  /healthz     liveness
-//	GET  /metrics     Prometheus text exposition
+//	POST   /v1/plan              plan a shape without building it
+//	POST   /v1/embed             plan + build + measure (optionally the serialized map)
+//	POST   /v1/compare           per-technique metrics, optionally a simnet stencil round
+//	POST   /v1/jobs              submit an asynchronous batch sweep (202)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status and progress
+//	GET    /v1/jobs/{id}/results stream the job's NDJSON results (offset-resumable)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text exposition
+//
+// Wire types live in pkg/api — the server serves exactly those shapes (the
+// declarations below are aliases), and every non-2xx response is the
+// api.ErrorResponse envelope.
 //
 // The request path is cache → coalescer → planner → metrics engine: a
 // bounded LRU holds fully-measured results keyed by canonical (axis-sorted)
@@ -26,7 +35,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -37,15 +45,30 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/jobs"
 	"repro/internal/mesh"
 	"repro/internal/obs"
 	"repro/internal/reshape"
 	"repro/internal/simnet"
 	"repro/internal/wrap"
+	"repro/pkg/api"
 )
 
 // APIVersion is the version field stamped on every v1 response body.
-const APIVersion = 1
+const APIVersion = api.Version
+
+// Aliases for the versioned wire types: handlers and existing callers keep
+// their names, pkg/api keeps the single source of truth.
+type (
+	PlanRequest     = api.PlanRequest
+	PlanResponse    = api.PlanResponse
+	EmbedRequest    = api.EmbedRequest
+	EmbedResponse   = api.EmbedResponse
+	CompareRequest  = api.CompareRequest
+	CompareRow      = api.CompareRow
+	CompareResponse = api.CompareResponse
+	DebugInfo       = api.DebugInfo
+)
 
 // maxCompareNodes bounds the guests /v1/compare accepts: a compare builds
 // several embeddings and optionally simulates a stencil exchange, so it is
@@ -107,6 +130,7 @@ type Server struct {
 	flights *flightGroup
 	sem     chan struct{}
 	m       *metrics
+	jobs    *jobs.Manager // nil until AttachJobs; jobs endpoints 503 without it
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -122,6 +146,14 @@ func New(cfg Config) *Server {
 	}
 }
 
+// Planner exposes the server's planner so the job manager can share it (a
+// plansweep job then warms the same plan cache the serving path reads).
+func (s *Server) Planner() *core.Planner { return s.planner }
+
+// AttachJobs wires a job manager into the /v1/jobs endpoints.  Call it
+// before Handler is serving; without it those endpoints answer 503.
+func (s *Server) AttachJobs(m *jobs.Manager) { s.jobs = m }
+
 // CacheStats returns the result cache's counters (for tests and /metrics).
 func (s *Server) CacheStats() ResultCacheStats { return s.cache.stats() }
 
@@ -136,23 +168,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/plan", s.instrument("plan", s.handlePlan))
 	mux.Handle("POST /v1/embed", s.instrument("embed", s.handleEmbed))
 	mux.Handle("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	mux.Handle("POST /v1/jobs", s.instrument("jobs-submit", s.handleJobSubmit))
+	mux.Handle("GET /v1/jobs", s.instrument("jobs-list", s.handleJobList))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs-status", s.handleJobStatus))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs-cancel", s.handleJobCancel))
+	// The results stream long-polls until the job finishes, so it must not
+	// occupy an inflight slot or run under the request timeout.
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	return mux
-}
-
-// apiError carries an HTTP status through the compute path.
-type apiError struct {
-	code int
-	msg  string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func errBadRequest(format string, a ...any) *apiError {
-	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, a...)}
-}
-
-func errTooLarge(format string, a ...any) *apiError {
-	return &apiError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, a...)}
 }
 
 // statusWriter records the response code for the request counter.
@@ -205,8 +228,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 				meta.root.End()
 			}
 			s.m.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "server at capacity")
+			writeAPIError(w, meta, &apiError{
+				status: http.StatusTooManyRequests, code: api.CodeOverCapacity,
+				msg: "server at capacity", retryAfter: time.Second,
+			})
 			s.m.observe(endpoint, http.StatusTooManyRequests, 0)
 			if logger != nil {
 				logger.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
@@ -263,28 +288,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]any{"version": APIVersion, "error": msg})
-}
-
-// respondErr maps a compute/flight error onto the response.  Context
-// deadline becomes 504 (the work continues detached and lands in the
-// cache); a client cancel gets the non-standard 499 purely for the metrics
-// — the client is gone.
-func respondErr(w http.ResponseWriter, err error) {
-	var api *apiError
-	switch {
-	case errors.As(err, &api):
-		writeErr(w, api.code, api.msg)
-	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, "deadline exceeded; result will be cached when ready")
-	case errors.Is(err, context.Canceled):
-		writeErr(w, 499, "client closed request")
-	default:
-		writeErr(w, http.StatusInternalServerError, err.Error())
-	}
 }
 
 // parseShapeField validates a request shape: parse errors are 400 and
@@ -374,33 +377,15 @@ func (s *Server) lookup(ctx context.Context, key string, compute func(ctx contex
 	}
 }
 
-// PlanRequest is the /v1/plan body.
-type PlanRequest struct {
-	Shape string `json:"shape"`
-}
-
-// PlanResponse is the /v1/plan reply.
-type PlanResponse struct {
-	Version       int        `json:"version"`
-	Shape         string     `json:"shape"`
-	Nodes         int        `json:"nodes"`
-	CubeDim       int        `json:"cube_dim"`
-	Plan          string     `json:"plan"`
-	Method        int        `json:"method"`
-	DilationBound int        `json:"dilation_bound"` // -1: no a-priori bound
-	Source        string     `json:"source"`
-	Debug         *DebugInfo `json:"debug,omitempty"`
-}
-
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if err := decodeBody(r.Body, &req); err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta := metaFrom(r.Context())
@@ -419,7 +404,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return planResult(p), nil
 	})
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta.setSource(source)
@@ -451,33 +436,10 @@ func planResult(p *core.Plan) *cachedResult {
 	return &cachedResult{plan: p.String(), method: p.Method, dilBound: dil, cubeDim: p.CubeDim}
 }
 
-// EmbedRequest is the /v1/embed body.  Mode selects the construction:
-// "" or "decomposition" (the planner), "gray" (the baseline), "torus"
-// (wraparound guest, Section 6 constructions).
-type EmbedRequest struct {
-	Shape      string `json:"shape"`
-	Mode       string `json:"mode,omitempty"`
-	IncludeMap bool   `json:"include_map,omitempty"`
-}
-
-// EmbedResponse is the /v1/embed reply.
-type EmbedResponse struct {
-	Version       int           `json:"version"`
-	Shape         string        `json:"shape"`
-	Mode          string        `json:"mode"`
-	Plan          string        `json:"plan,omitempty"`
-	Method        int           `json:"method,omitempty"`
-	DilationBound int           `json:"dilation_bound,omitempty"`
-	Metrics       embed.Metrics `json:"metrics"`
-	Source        string        `json:"source"`
-	Embedding     *embed.Serial `json:"embedding,omitempty"`
-	Debug         *DebugInfo    `json:"debug,omitempty"`
-}
-
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	var req EmbedRequest
 	if err := decodeBody(r.Body, &req); err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	mode := req.Mode
@@ -486,12 +448,12 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		mode = "decomposition"
 	case "gray", "torus":
 	default:
-		respondErr(w, errBadRequest("unknown mode %q (want decomposition, gray or torus)", req.Mode))
+		respondErr(w, r, errBadRequest("unknown mode %q (want decomposition, gray or torus)", req.Mode))
 		return
 	}
 	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta := metaFrom(r.Context())
@@ -502,7 +464,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		return s.computeEmbed(ctx, canon, mode)
 	})
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta.setSource(source)
@@ -513,7 +475,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Plan:          res.plan,
 		Method:        res.method,
 		DilationBound: res.dilBound,
-		Metrics:       res.metrics,
+		Metrics:       api.Metrics(res.metrics),
 		Source:        source,
 	}
 	resp.Metrics.Guest = sh.String() // metrics are relabeling-invariant
@@ -523,7 +485,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 			ser.Map = relabelMap(res.emb, sh)
 		}
 		ser.Guest = sh.String()
-		resp.Embedding = ser
+		resp.Embedding = (*api.EmbeddingSerial)(ser)
 	}
 	if meta != nil && meta.debug {
 		resp.Debug = &DebugInfo{RequestID: meta.id}
@@ -592,38 +554,15 @@ func relabelMap(e *embed.Embedding, want mesh.Shape) []uint64 {
 	return out
 }
 
-// CompareRequest is the /v1/compare body.
-type CompareRequest struct {
-	Shape  string `json:"shape"`
-	Simnet bool   `json:"simnet,omitempty"`
-}
-
-// CompareRow is one technique's measured quality.
-type CompareRow struct {
-	Technique string        `json:"technique"`
-	Metrics   embed.Metrics `json:"metrics"`
-}
-
-// CompareResponse is the /v1/compare reply.  Simnet, when requested, holds
-// one deterministic store-and-forward stencil-exchange round per technique.
-type CompareResponse struct {
-	Version int                          `json:"version"`
-	Shape   string                       `json:"shape"`
-	Rows    []CompareRow                 `json:"rows"`
-	Simnet  map[string]simnet.RoundStats `json:"simnet,omitempty"`
-	Source  string                       `json:"source"`
-	Debug   *DebugInfo                   `json:"debug,omitempty"`
-}
-
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req CompareRequest
 	if err := decodeBody(r.Body, &req); err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	sh, err := s.parseShapeField(req.Shape, min(s.cfg.MaxNodes, maxCompareNodes))
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta := metaFrom(r.Context())
@@ -634,7 +573,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return s.computeCompare(ctx, canon, req.Simnet)
 	})
 	if err != nil {
-		respondErr(w, err)
+		respondErr(w, r, err)
 		return
 	}
 	meta.setSource(source)
@@ -686,11 +625,15 @@ func (s *Server) computeCompare(ctx context.Context, canon mesh.Shape, withSimne
 		tctx, tspan := obs.Start(ctx, "technique:"+name)
 		m := es[name].MeasureParallelCtx(tctx, s.cfg.Workers)
 		tspan.End()
-		resp.Rows = append(resp.Rows, CompareRow{Technique: name, Metrics: m})
+		resp.Rows = append(resp.Rows, CompareRow{Technique: name, Metrics: api.Metrics(m)})
 	}
 	if withSimnet {
 		_, sspan := obs.Start(ctx, "simnet")
-		resp.Simnet = simnet.CompareEmbeddingsParallel(es, s.cfg.Workers)
+		rounds := simnet.CompareEmbeddingsParallel(es, s.cfg.Workers)
+		resp.Simnet = make(map[string]api.SimRoundStats, len(rounds))
+		for name, rs := range rounds {
+			resp.Simnet[name] = api.SimRoundStats(rs)
+		}
 		sspan.End()
 	}
 	return &cachedResult{compare: resp}, nil
@@ -711,7 +654,7 @@ func decodeBody(r io.Reader, v any) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": APIVersion})
+	writeJSON(w, http.StatusOK, api.HealthzResponse{Status: "ok", Version: APIVersion})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -728,6 +671,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "embedserver_plan_cache_hits_total", help: "Planner plan-cache hits.", kind: "counter", value: float64(ps.Hits)},
 		{name: "embedserver_plan_cache_misses_total", help: "Planner plan-cache misses.", kind: "counter", value: float64(ps.Misses)},
 		{name: "embedserver_plan_cache_entries", help: "Planner plan-cache current size.", kind: "gauge", value: float64(ps.Size)},
+	}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		gauges = append(gauges,
+			gauge{name: "embedserver_jobs_queued", help: "Batch jobs waiting for a runner.", kind: "gauge", value: float64(js.Queued)},
+			gauge{name: "embedserver_jobs_running", help: "Batch jobs currently executing.", kind: "gauge", value: float64(js.Running)},
+			gauge{name: "embedserver_jobs_done", help: "Batch jobs that finished successfully.", kind: "gauge", value: float64(js.Done)},
+			gauge{name: "embedserver_jobs_failed", help: "Batch jobs that ended in failure.", kind: "gauge", value: float64(js.Failed)},
+			gauge{name: "embedserver_jobs_cancelled", help: "Batch jobs cancelled by the caller.", kind: "gauge", value: float64(js.Cancelled)},
+			gauge{name: "embedserver_jobs_queue_capacity", help: "Slots in the job submission queue.", kind: "gauge", value: float64(js.QueueCap)},
+			gauge{name: "embedserver_jobs_chunks_done_total", help: "Job chunks completed (including resumed runs).", kind: "counter", value: float64(js.ChunksDone)},
+			gauge{name: "embedserver_jobs_shapes_total", help: "Shapes processed by batch jobs.", kind: "counter", value: float64(js.Shapes)},
+			gauge{name: "embedserver_jobs_retries_total", help: "Job chunk attempts retried after a panic or error.", kind: "counter", value: float64(js.Retries)},
+			gauge{name: "embedserver_jobs_result_bytes_total", help: "Bytes of NDJSON results committed to disk.", kind: "counter", value: float64(js.ResultBytes)},
+		)
 	}
 	gauges = append(gauges, runtimeGauges()...)
 	gauges = append(gauges, buildInfoGauge())

@@ -76,14 +76,14 @@ func TestEmbedEndpointWithMap(t *testing.T) {
 	if resp.Embedding == nil {
 		t.Fatal("include_map: no embedding in response")
 	}
-	e, err := embed.FromSerial(resp.Embedding)
+	e, err := embed.FromSerial((*embed.Serial)(resp.Embedding))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Measure(); got != resp.Metrics {
+	if got := e.Measure(); got != embed.Metrics(resp.Metrics) {
 		t.Fatalf("served metrics %+v != remeasured %+v", resp.Metrics, got)
 	}
 }
@@ -112,7 +112,7 @@ func TestEmbedPermutedHit(t *testing.T) {
 	if resp.Metrics.Guest != "7x6x5" || resp.Embedding.Guest != "7x6x5" {
 		t.Fatalf("guest not relabeled: %+v", resp.Metrics)
 	}
-	e, err := embed.FromSerial(resp.Embedding)
+	e, err := embed.FromSerial((*embed.Serial)(resp.Embedding))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestEmbedPermutedHit(t *testing.T) {
 		t.Fatalf("relabeled map invalid: %v", err)
 	}
 	got := e.Measure()
-	want := first.Metrics
+	want := embed.Metrics(first.Metrics)
 	want.Guest = "7x6x5"
 	if got != want {
 		t.Fatalf("relabeled metrics %+v, want %+v", got, want)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,11 +22,112 @@ type Figure2Row struct {
 	Exceptions uint64     // ordered triples with no method (ε = 1) at all
 }
 
-// figure2Acc accumulates one domain bucket of the Figure 2 sweep.
-type figure2Acc struct {
-	count [5]uint64 // per method index 0..4 (0 = none works at ε=1)
-	eps2  uint64    // best ε ≤ 2 after all methods
-	total uint64
+// CensusTally accumulates one domain bucket of the Figure 2 coverage
+// census.  It is exported (with JSON tags) because the batch-job subsystem
+// checkpoints running aggregates to disk and must round-trip them exactly;
+// all fields are integers, so the tally — and everything rendered from it —
+// is identical for any worker count, chunking, or resume point.
+type CensusTally struct {
+	Count [5]uint64 `json:"count"` // per method index 0..4 (0 = none works at ε=1)
+	Eps2  uint64    `json:"eps2"`  // best ε ≤ 2 after all methods
+	Total uint64    `json:"total"`
+}
+
+// censusTriple tallies one sorted triple a ≤ b ≤ c into its domain bucket,
+// weighted by the number of distinct axis permutations.
+func censusTriple(part []CensusTally, a, b, c int) {
+	mult := permCount(a, b, c)
+	bucket := bits.CeilLog2(uint64(c))
+	if bucket == 0 {
+		bucket = 1 // 1x1x1 lives in every domain, smallest is n=1
+	}
+	m := BestMethod(a, b, c)
+	part[bucket].Count[m] += mult
+	part[bucket].Total += mult
+	if m == 0 {
+		// ε = 1 unreachable; check ε ≤ 2 via method-4 family.
+		e := RelExpansion(a, b, c)
+		if e[3] <= 2 {
+			part[bucket].Eps2 += mult
+		}
+	} else {
+		part[bucket].Eps2 += mult
+	}
+}
+
+// CensusShard tallies every sorted triple with fixed first axis a
+// (a ≤ b ≤ c ≤ 2^maxN) into per-bucket tallies indexed 0..maxN.  It is the
+// unit of work both for Figure2Parallel (one shard per goroutine, serial
+// inside) and for the batch-job census (one shard per chunk, parallel over b
+// inside with `workers`).  Cancellation is cooperative: a done ctx stops the
+// shard between b-columns and returns ctx.Err() with a nil tally.
+func CensusShard(ctx context.Context, a, maxN, workers int) ([]CensusTally, error) {
+	limit := 1 << uint(maxN)
+	if a < 1 || a > limit {
+		return nil, fmt.Errorf("stats: census shard a=%d out of domain 1..%d", a, limit)
+	}
+	cols := limit - a + 1
+	if sweep.Workers(workers) == 1 {
+		part := make([]CensusTally, maxN+1)
+		for b := a; b <= limit; b++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for c := b; c <= limit; c++ {
+				censusTriple(part, a, b, c)
+			}
+		}
+		return part, nil
+	}
+	return sweep.FoldCtx(ctx, cols, workers,
+		func(i int) []CensusTally {
+			b := a + i
+			part := make([]CensusTally, maxN+1)
+			for c := b; c <= limit; c++ {
+				censusTriple(part, a, b, c)
+			}
+			return part
+		},
+		nil, MergeCensusTallies)
+}
+
+// MergeCensusTallies adds part into acc elementwise, allocating acc on first
+// use so it can seed a sweep.Fold / FoldCtx reduction.
+func MergeCensusTallies(acc, part []CensusTally) []CensusTally {
+	if acc == nil {
+		acc = make([]CensusTally, len(part))
+	}
+	for n := range acc {
+		for i := range acc[n].Count {
+			acc[n].Count[i] += part[n].Count[i]
+		}
+		acc[n].Eps2 += part[n].Eps2
+		acc[n].Total += part[n].Total
+	}
+	return acc
+}
+
+// CensusRows converts per-bucket tallies into the cumulative Figure 2 rows
+// (one per domain exponent n = 1..maxN).
+func CensusRows(maxN int, buckets []CensusTally) []Figure2Row {
+	rows := make([]Figure2Row, 0, maxN)
+	var cum CensusTally
+	for n := 1; n <= maxN; n++ {
+		for i := range cum.Count {
+			cum.Count[i] += buckets[n].Count[i]
+		}
+		cum.Eps2 += buckets[n].Eps2
+		cum.Total += buckets[n].Total
+		row := Figure2Row{N: n, Total: cum.Total, Exceptions: cum.Count[0]}
+		running := uint64(0)
+		for i := 1; i <= 4; i++ {
+			running += cum.Count[i]
+			row.S[i-1] = 100 * float64(running) / float64(cum.Total)
+		}
+		row.S4Eps2 = 100 * float64(cum.Eps2) / float64(cum.Total)
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // Figure2 sweeps every mesh contained in a 2^maxN-cube domain and returns
@@ -48,62 +150,16 @@ func Figure2Parallel(maxN, workers int) []Figure2Row {
 	}
 	limit := 1 << uint(maxN)
 	buckets := sweep.Fold(limit, workers,
-		func(i int) []figure2Acc {
-			a := i + 1
-			part := make([]figure2Acc, maxN+1)
-			for b := a; b <= limit; b++ {
-				for c := b; c <= limit; c++ {
-					mult := permCount(a, b, c)
-					bucket := bits.CeilLog2(uint64(c))
-					if bucket == 0 {
-						bucket = 1 // 1x1x1 lives in every domain, smallest is n=1
-					}
-					m := BestMethod(a, b, c)
-					part[bucket].count[m] += mult
-					part[bucket].total += mult
-					if m == 0 {
-						// ε = 1 unreachable; check ε ≤ 2 via method-4 family.
-						e := RelExpansion(a, b, c)
-						if e[3] <= 2 {
-							part[bucket].eps2 += mult
-						}
-					} else {
-						part[bucket].eps2 += mult
-					}
-				}
+		func(i int) []CensusTally {
+			part, err := CensusShard(context.Background(), i+1, maxN, 1)
+			if err != nil {
+				panic(err) // unreachable: a is in range and ctx never cancels
 			}
 			return part
 		},
-		make([]figure2Acc, maxN+1),
-		func(acc []figure2Acc, part []figure2Acc) []figure2Acc {
-			for n := range acc {
-				for i := range acc[n].count {
-					acc[n].count[i] += part[n].count[i]
-				}
-				acc[n].eps2 += part[n].eps2
-				acc[n].total += part[n].total
-			}
-			return acc
-		})
-
-	rows := make([]Figure2Row, 0, maxN)
-	var cum figure2Acc
-	for n := 1; n <= maxN; n++ {
-		for i := range cum.count {
-			cum.count[i] += buckets[n].count[i]
-		}
-		cum.eps2 += buckets[n].eps2
-		cum.total += buckets[n].total
-		row := Figure2Row{N: n, Total: cum.total, Exceptions: cum.count[0]}
-		running := uint64(0)
-		for i := 1; i <= 4; i++ {
-			running += cum.count[i]
-			row.S[i-1] = 100 * float64(running) / float64(cum.total)
-		}
-		row.S4Eps2 = 100 * float64(cum.eps2) / float64(cum.total)
-		rows = append(rows, row)
-	}
-	return rows
+		make([]CensusTally, maxN+1),
+		MergeCensusTallies)
+	return CensusRows(maxN, buckets)
 }
 
 // permCount returns the number of distinct ordered triples obtained by
@@ -189,12 +245,23 @@ func Figure2Epsilon(n int) EpsilonDistribution { return Figure2EpsilonParallel(n
 // an explicit worker count; integer tallies make the result identical for
 // any worker count.
 func Figure2EpsilonParallel(n, workers int) EpsilonDistribution {
+	d, err := Figure2EpsilonCtx(context.Background(), n, workers)
+	if err != nil {
+		panic(err) // unreachable: the background ctx never cancels
+	}
+	return d
+}
+
+// Figure2EpsilonCtx is Figure2EpsilonParallel with cooperative cancellation
+// for the batch-job subsystem: a done ctx stops the sweep between first-axis
+// shards and returns ctx.Err().
+func Figure2EpsilonCtx(ctx context.Context, n, workers int) (EpsilonDistribution, error) {
 	if n < 1 || n > 9 {
 		panic("stats: Figure2Epsilon domain exponent out of range")
 	}
 	limit := 1 << uint(n)
 	type epsAcc struct{ c1, c2, c4, cw, total uint64 }
-	acc := sweep.Fold(limit, workers,
+	acc, err := sweep.FoldCtx(ctx, limit, workers,
 		func(i int) epsAcc {
 			a := i + 1
 			var part epsAcc
@@ -226,6 +293,9 @@ func Figure2EpsilonParallel(n, workers int) EpsilonDistribution {
 			acc.total += part.total
 			return acc
 		})
+	if err != nil {
+		return EpsilonDistribution{}, err
+	}
 	f := func(x uint64) float64 { return 100 * float64(x) / float64(acc.total) }
-	return EpsilonDistribution{N: n, Eps1: f(acc.c1), Eps2: f(acc.c2), Eps4: f(acc.c4), EpsWorse: f(acc.cw)}
+	return EpsilonDistribution{N: n, Eps1: f(acc.c1), Eps2: f(acc.c2), Eps4: f(acc.c4), EpsWorse: f(acc.cw)}, nil
 }

@@ -165,6 +165,64 @@ func Fold[A, R any](n, workers int, fn func(i int) R, acc A, merge func(A, R) A)
 	return acc
 }
 
+// FoldCtx is Fold with cooperative cancellation: workers stop pulling new
+// items once ctx is done, and the partial results are discarded — on
+// cancellation FoldCtx returns acc untouched along with ctx.Err(), so a
+// caller never observes a reduction over an incomplete item set.  A nil or
+// never-cancelled ctx makes FoldCtx behave exactly like Fold (same item
+// order, same deterministic merge).  Long-running shard loops (the batch-job
+// chunks) use this so a cancelled job stops within one item, not one chunk.
+func FoldCtx[A, R any](ctx context.Context, n, workers int, fn func(i int) R, acc A, merge func(A, R) A) (A, error) {
+	if n <= 0 {
+		return acc, ctx.Err()
+	}
+	out := make([]R, n)
+	workers = min(Workers(workers), n)
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+		once     sync.Once
+	)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	if err := ctx.Err(); err != nil {
+		return acc, err
+	}
+	for _, r := range out {
+		acc = merge(acc, r)
+	}
+	return acc, nil
+}
+
 // Each runs fn(i) for every i in [0, n) for its side effects, with the same
 // pool semantics as Map.
 func Each(n, workers int, fn func(i int)) {

@@ -1,0 +1,135 @@
+// Package api defines the versioned wire types of the embedding service's
+// /v1 HTTP API: every request and response body, the uniform JSON error
+// envelope, and the batch-job subsystem's submit/status/record schema.
+//
+// The package is the single source of truth for the wire format.  The
+// server (internal/server) serves exactly these types, the Go client SDK
+// (pkg/client) decodes into them, and the golden-file round-trip tests in
+// this package pin the encoded form so accidental schema breaks fail in CI
+// rather than in production.
+//
+// Versioning: Version is stamped on every response body (success and error
+// alike).  Additive changes (new optional fields) keep the version; any
+// change that re-types, renames or removes a served field must bump it.
+// JobSchemaVersion covers the on-disk job artifacts (checkpoints, job
+// state) and the NDJSON result records, which must stay stable across
+// server restarts for resume to work.
+package api
+
+// Version is the wire schema version stamped on every v1 response body.
+const Version = 1
+
+// JobSchemaVersion is the schema version of the batch-job artifacts: the
+// job-state and checkpoint files under the server's -data-dir and the
+// NDJSON result records.  A server refuses to resume artifacts written
+// under a different version.
+const JobSchemaVersion = 1
+
+// Metrics is the measured quality of one embedding.  It mirrors the
+// metrics engine's result field-for-field (deliberately without JSON tags:
+// schema v1 serves Go field names, and changing that is a version bump).
+type Metrics struct {
+	Guest         string
+	Wrap          bool
+	CubeDim       int
+	Expansion     float64
+	Minimal       bool
+	Dilation      int
+	AvgDilation   float64
+	Congestion    int
+	AvgCongestion float64
+	LoadFactor    int
+}
+
+// EmbeddingSerial is the serialized node map of an embedding (schema of
+// internal/embed.Serial, version 1): host cube dimension and one host node
+// per guest node in row-major guest order.
+type EmbeddingSerial struct {
+	Version int      `json:"version"`
+	Guest   string   `json:"guest"`
+	Wrap    bool     `json:"wrap,omitempty"`
+	Cube    int      `json:"cube"`
+	Map     []uint64 `json:"map"`
+}
+
+// SimRoundStats is one simulated store-and-forward stencil-exchange round
+// (mirrors internal/simnet.RoundStats; no tags — Go field names on the
+// wire, schema v1).
+type SimRoundStats struct {
+	Messages  int
+	TotalHops int
+	MaxHops   int
+	Makespan  int
+	MaxLink   int
+	AvgHops   float64
+}
+
+// PlanRequest is the POST /v1/plan body.
+type PlanRequest struct {
+	Shape string `json:"shape"`
+}
+
+// PlanResponse is the /v1/plan reply.
+type PlanResponse struct {
+	Version       int        `json:"version"`
+	Shape         string     `json:"shape"`
+	Nodes         int        `json:"nodes"`
+	CubeDim       int        `json:"cube_dim"`
+	Plan          string     `json:"plan"`
+	Method        int        `json:"method"`
+	DilationBound int        `json:"dilation_bound"` // -1: no a-priori bound
+	Source        string     `json:"source"`
+	Debug         *DebugInfo `json:"debug,omitempty"`
+}
+
+// EmbedRequest is the POST /v1/embed body.  Mode selects the construction:
+// "" or "decomposition" (the planner), "gray" (the baseline), "torus"
+// (wraparound guest, Section 6 constructions).
+type EmbedRequest struct {
+	Shape      string `json:"shape"`
+	Mode       string `json:"mode,omitempty"`
+	IncludeMap bool   `json:"include_map,omitempty"`
+}
+
+// EmbedResponse is the /v1/embed reply.
+type EmbedResponse struct {
+	Version       int              `json:"version"`
+	Shape         string           `json:"shape"`
+	Mode          string           `json:"mode"`
+	Plan          string           `json:"plan,omitempty"`
+	Method        int              `json:"method,omitempty"`
+	DilationBound int              `json:"dilation_bound,omitempty"`
+	Metrics       Metrics          `json:"metrics"`
+	Source        string           `json:"source"`
+	Embedding     *EmbeddingSerial `json:"embedding,omitempty"`
+	Debug         *DebugInfo       `json:"debug,omitempty"`
+}
+
+// CompareRequest is the POST /v1/compare body.
+type CompareRequest struct {
+	Shape  string `json:"shape"`
+	Simnet bool   `json:"simnet,omitempty"`
+}
+
+// CompareRow is one technique's measured quality.
+type CompareRow struct {
+	Technique string  `json:"technique"`
+	Metrics   Metrics `json:"metrics"`
+}
+
+// CompareResponse is the /v1/compare reply.  Simnet, when requested, holds
+// one deterministic store-and-forward stencil-exchange round per technique.
+type CompareResponse struct {
+	Version int                      `json:"version"`
+	Shape   string                   `json:"shape"`
+	Rows    []CompareRow             `json:"rows"`
+	Simnet  map[string]SimRoundStats `json:"simnet,omitempty"`
+	Source  string                   `json:"source"`
+	Debug   *DebugInfo               `json:"debug,omitempty"`
+}
+
+// HealthzResponse is the GET /healthz reply.
+type HealthzResponse struct {
+	Status  string `json:"status"`
+	Version int    `json:"version"`
+}

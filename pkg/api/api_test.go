@@ -1,0 +1,189 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenCases enumerates every wire type with a fully-populated value.  The
+// golden files pin the encoded form: any accidental field rename, re-tag or
+// re-type shows up as a byte diff here long before a client sees it.
+func goldenCases() []struct {
+	name  string
+	value any
+} {
+	return []struct {
+		name  string
+		value any
+	}{
+		{"plan_request", PlanRequest{Shape: "5x6x7"}},
+		{"plan_response", PlanResponse{
+			Version: Version, Shape: "5x6x7", Nodes: 210, CubeDim: 8,
+			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
+			Source: "computed",
+			Debug: &DebugInfo{
+				RequestID: "ab12-000001",
+				Trace:     json.RawMessage(`{"name":"request","start_unix_ns":1,"duration_ns":2}`),
+				PlanTrace: json.RawMessage(`{"attempts":[]}`),
+			},
+		}},
+		{"embed_request", EmbedRequest{Shape: "6x10", Mode: "torus", IncludeMap: true}},
+		{"embed_response", EmbedResponse{
+			Version: Version, Shape: "5x6x7", Mode: "decomposition",
+			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
+			Metrics: Metrics{
+				Guest: "5x6x7", CubeDim: 8, Expansion: 1.2190, Minimal: true,
+				Dilation: 2, AvgDilation: 1.1034, Congestion: 3, AvgCongestion: 1.4128,
+				LoadFactor: 1,
+			},
+			Source: "cache",
+			Embedding: &EmbeddingSerial{
+				Version: 1, Guest: "1x2", Cube: 1, Map: []uint64{0, 1},
+			},
+		}},
+		{"compare_request", CompareRequest{Shape: "12x20", Simnet: true}},
+		{"compare_response", CompareResponse{
+			Version: Version, Shape: "12x20",
+			Rows: []CompareRow{{
+				Technique: "gray",
+				Metrics:   Metrics{Guest: "12x20", CubeDim: 9, Expansion: 2.1333, Dilation: 1, AvgDilation: 1, Congestion: 1, AvgCongestion: 1, LoadFactor: 1},
+			}},
+			Simnet: map[string]SimRoundStats{
+				"gray": {Messages: 916, TotalHops: 916, MaxHops: 1, Makespan: 4, MaxLink: 4, AvgHops: 1},
+			},
+			Source: "computed",
+		}},
+		{"healthz_response", HealthzResponse{Status: "ok", Version: Version}},
+		{"error_response", ErrorResponse{
+			Version: Version,
+			Error: &Error{
+				Code: CodeOverCapacity, Message: "server at capacity",
+				RetryAfterMS: 1000, RequestID: "ab12-000007",
+			},
+		}},
+		{"job_submit_request", JobSubmitRequest{
+			Kind: JobCensus, Workers: 8, Census: &CensusParams{MaxN: 9},
+		}},
+		{"job_submit_request_plansweep", JobSubmitRequest{
+			Kind: JobPlanSweep, PlanSweep: &PlanSweepParams{Dims: 3, MaxAxis: 16, MaxNodes: 4096},
+		}},
+		{"job_status", JobStatus{
+			Version: Version, ID: "j-ab12cd34-000001", Kind: JobCensus, State: JobRunning,
+			Progress: JobProgress{
+				ChunksDone: 128, ChunksTotal: 512, Shapes: 33_554_432,
+				ShapesPerSec: 1.5e6, ETAMS: 22_000, Retries: 1, ResultBytes: 40_960,
+			},
+			CreatedUnixMS: 1754300000000, StartedUnixMS: 1754300000100, Resumed: 1,
+			Request: &JobSubmitRequest{Kind: JobCensus, Census: &CensusParams{MaxN: 9}},
+		}},
+		{"job_list_response", JobListResponse{
+			Version: Version,
+			Jobs: []JobStatus{{
+				Version: Version, ID: "j-ab12cd34-000001", Kind: JobEpsilon, State: JobDone,
+				Progress:      JobProgress{ChunksDone: 6, ChunksTotal: 6, Shapes: 299_593, ResultBytes: 1024},
+				CreatedUnixMS: 1754300000000, StartedUnixMS: 1754300000100, FinishedUnixMS: 1754300002000,
+				Request: &JobSubmitRequest{Kind: JobEpsilon, Epsilon: &EpsilonParams{MaxN: 6}},
+			}},
+		}},
+		{"census_shard_record", CensusShardRecord{
+			Type: RecordCensusShard, A: 5,
+			Buckets: []CensusBucket{{N: 3, Count: [5]uint64{1, 0, 3, 0, 2}, Eps2: 5, Total: 6}},
+		}},
+		{"census_row_record", CensusRowRecord{
+			Type: RecordCensusRow, N: 9, S: [4]float64{28.5, 81.5, 82.9, 96.1},
+			S4Eps2: 99.5, Total: 134_217_728, Exceptions: 5_226_111,
+		}},
+		{"epsilon_row_record", EpsilonRowRecord{
+			Type: RecordEpsilonRow, N: 6, Eps1: 95.7, Eps2: 4.0, Eps4: 0.3, EpsWorse: 0,
+		}},
+		{"plan_record", PlanRecord{
+			Type: RecordPlan, Shape: "3x5x17", Nodes: 255, CubeDim: 8,
+			Plan: "snake(3x5x17)", Method: 0, DilationBound: -1, Minimal: true,
+			BestMethod: 0, RelExpansion: []float64{1.6, 1.6, 1.6, 1},
+		}},
+		{"summary_record", SummaryRecord{
+			Type: RecordSummary, Kind: JobPlanSweep, Chunks: 16, Shapes: 688,
+			DilationHist: map[string]uint64{"1": 120, "2": 560, "unknown": 8},
+			Minimal:      610,
+		}},
+		{"summary_record_census", SummaryRecord{
+			Type: RecordSummary, Kind: JobCensus, Chunks: 512, Shapes: 134_217_728,
+			Exceptions: 5_226_111,
+		}},
+	}
+}
+
+// TestGoldenRoundTrip pins the JSON wire format of every api type: the
+// encoded bytes must match the checked-in golden file, and decoding the
+// golden file and re-encoding it must reproduce it byte-for-byte (catching
+// asymmetric or shadowed tags).  Regenerate with `go test ./pkg/api -update`.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(tc.value, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+
+			// Round-trip: golden → value → bytes must be stable.
+			fresh := reflect.New(reflect.TypeOf(tc.value))
+			if err := json.Unmarshal(want, fresh.Interface()); err != nil {
+				t.Fatalf("golden does not decode: %v", err)
+			}
+			again, err := json.MarshalIndent(fresh.Elem().Interface(), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(again, want) {
+				t.Errorf("decode/re-encode is not a fixed point:\n--- re-encoded ---\n%s\n--- golden ---\n%s", again, want)
+			}
+		})
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[JobState]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	} {
+		if got := state.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", state, got, want)
+		}
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := &Error{Code: CodeTimeout, Message: "deadline exceeded", RequestID: "ab-1"}
+	if got := e.Error(); got != "timeout: deadline exceeded (request ab-1)" {
+		t.Errorf("Error() = %q", got)
+	}
+	e.RequestID = ""
+	if got := e.Error(); got != "timeout: deadline exceeded" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -1,0 +1,63 @@
+package api
+
+import "fmt"
+
+// ErrorCode classifies an API failure.  Codes are part of the wire schema:
+// clients branch on them (the SDK retries over_capacity and queue_full,
+// surfaces bad_request immediately), so renaming one is a version bump.
+type ErrorCode string
+
+const (
+	// CodeBadRequest (400): malformed body, unparseable shape, unknown mode
+	// or invalid job parameters.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeShapeTooLarge (422): the shape parses but exceeds the server's
+	// node limit.
+	CodeShapeTooLarge ErrorCode = "shape_too_large"
+	// CodeNotFound (404): no such job.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeOverCapacity (429): the concurrency limiter shed the request;
+	// retry after RetryAfterMS.
+	CodeOverCapacity ErrorCode = "over_capacity"
+	// CodeQueueFull (429): the bounded job queue is full; the job was NOT
+	// accepted, so resubmitting after RetryAfterMS is safe.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeTimeout (504): the per-request deadline expired.  The computation
+	// keeps running detached and lands in the result cache, so a retry
+	// after RetryAfterMS is usually a cache hit.
+	CodeTimeout ErrorCode = "timeout"
+	// CodeCanceled (499): the client closed the request.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeUnavailable (503): the subsystem is not configured or is
+	// draining (e.g. jobs endpoints on a server started without -data-dir).
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal (500): unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the one typed error envelope every endpoint uses for every
+// non-2xx response, wrapped in ErrorResponse on the wire.  RetryAfterMS,
+// when set, mirrors the Retry-After header in milliseconds; RequestID, when
+// set, matches the X-Request-Id header and the server's access-log record
+// so failures are correlatable with logs and traces.
+type Error struct {
+	Code         ErrorCode `json:"code"`
+	Message      string    `json:"message"`
+	RetryAfterMS int64     `json:"retry_after_ms,omitempty"`
+	RequestID    string    `json:"request_id,omitempty"`
+}
+
+// Error implements the error interface so a decoded envelope can flow
+// through Go error handling unchanged.
+func (e *Error) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("%s: %s (request %s)", e.Code, e.Message, e.RequestID)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Version int    `json:"version"`
+	Error   *Error `json:"error"`
+}

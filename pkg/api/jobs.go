@@ -1,0 +1,219 @@
+package api
+
+// Batch-sweep job wire schema: POST /v1/jobs submits one of the paper's
+// whole-range censuses as an asynchronous job; GET /v1/jobs/{id} polls its
+// lifecycle; GET /v1/jobs/{id}/results streams the job's NDJSON record
+// stream (resumable by byte offset via the Last-Event-Offset header);
+// DELETE /v1/jobs/{id} cancels it.
+//
+// Result streams are deterministic by construction — records are appended
+// in chunk order and every tally is integer-derived — so the bytes a client
+// read before a disconnect (or a server kill) are always a prefix of the
+// bytes it would read from a fresh, uninterrupted run.  That is what makes
+// offset resume sound.
+
+// ResultsOffsetHeader is the header carrying the byte offset into a job's
+// NDJSON result stream.  A client sends it on GET /v1/jobs/{id}/results to
+// resume after a disconnect (the value is the count of result-stream bytes
+// it has already consumed); the server echoes the effective start offset
+// back on the response.
+const ResultsOffsetHeader = "Last-Event-Offset"
+
+// JobKind names one of the batch sweeps the job subsystem can run.
+type JobKind string
+
+const (
+	// JobCensus is the Figure 2 coverage census: every ℓ1×ℓ2×ℓ3 mesh with
+	// axes ≤ 2^max_n, tallied by the first method (1..4) achieving relative
+	// expansion 1 and by ε ≤ 2 reachability.  One shard record per first
+	// axis, then the cumulative per-domain rows and a summary.
+	JobCensus JobKind = "census"
+	// JobEpsilon is the ε-expansion distribution table: for each domain
+	// exponent n ≤ max_n, the fraction of meshes whose best relative
+	// expansion after all four methods is 1, 2, 4 or worse.
+	JobEpsilon JobKind = "epsilon"
+	// JobPlanSweep plans every sorted shape within the axis/node bounds
+	// through the decomposition planner and records one line per shape
+	// (plan, method, dilation bound, and for 3-D shapes the analytic
+	// per-method-prefix relative expansions).
+	JobPlanSweep JobKind = "plansweep"
+)
+
+// JobState is a job's lifecycle state.  Transitions: queued → running →
+// done | failed | cancelled; queued → cancelled.  A server restart replays
+// queued/running jobs from their last checkpoint without leaving this
+// state machine.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobSubmitRequest is the POST /v1/jobs body.  Exactly the parameter block
+// matching Kind must be set.
+type JobSubmitRequest struct {
+	Kind JobKind `json:"kind"`
+	// Workers bounds the per-chunk parallelism (values below one mean the
+	// server's default).  Chunks themselves always run sequentially — that
+	// is what makes the record stream and the checkpoints deterministic.
+	Workers   int              `json:"workers,omitempty"`
+	Census    *CensusParams    `json:"census,omitempty"`
+	Epsilon   *EpsilonParams   `json:"epsilon,omitempty"`
+	PlanSweep *PlanSweepParams `json:"plansweep,omitempty"`
+}
+
+// CensusParams parameterizes a census job: axes range over 1..2^MaxN
+// (MaxN = 9 is the paper's 512×512×512 domain, 134M ordered shapes).
+type CensusParams struct {
+	MaxN int `json:"max_n"`
+}
+
+// EpsilonParams parameterizes an epsilon job: one distribution row per
+// domain exponent n = 1..MaxN.
+type EpsilonParams struct {
+	MaxN int `json:"max_n"`
+}
+
+// PlanSweepParams parameterizes a plansweep job: sorted shapes with Dims
+// axes, each ≤ MaxAxis, and at most MaxNodes nodes.
+type PlanSweepParams struct {
+	Dims     int `json:"dims"`
+	MaxAxis  int `json:"max_axis"`
+	MaxNodes int `json:"max_nodes"`
+}
+
+// JobProgress is the live progress block of a job status.
+type JobProgress struct {
+	ChunksDone  int `json:"chunks_done"`
+	ChunksTotal int `json:"chunks_total"`
+	// Shapes counts guest shapes processed so far (census and epsilon count
+	// ordered shapes, plansweep counts enumerated shapes).
+	Shapes uint64 `json:"shapes"`
+	// ShapesPerSec is the observed throughput since the job started running
+	// (zero until the first chunk lands, and on terminal states).
+	ShapesPerSec float64 `json:"shapes_per_sec,omitempty"`
+	// ETAMS estimates the remaining run time in milliseconds from the
+	// per-chunk average so far; zero when unknown.
+	ETAMS int64 `json:"eta_ms,omitempty"`
+	// Retries counts chunk attempts that panicked and were retried.
+	Retries int `json:"retries,omitempty"`
+	// ResultBytes is the committed (replay-stable, streamable) size of the
+	// NDJSON result stream.
+	ResultBytes int64 `json:"result_bytes"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} reply, the POST /v1/jobs reply (202),
+// and the DELETE /v1/jobs/{id} reply.
+type JobStatus struct {
+	Version        int         `json:"version"`
+	ID             string      `json:"id"`
+	Kind           JobKind     `json:"kind"`
+	State          JobState    `json:"state"`
+	Error          string      `json:"error,omitempty"`
+	Progress       JobProgress `json:"progress"`
+	CreatedUnixMS  int64       `json:"created_unix_ms"`
+	StartedUnixMS  int64       `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64       `json:"finished_unix_ms,omitempty"`
+	// Resumed counts how many times the job was restored from a checkpoint
+	// after a server restart.
+	Resumed int `json:"resumed,omitempty"`
+	// Request echoes the submitted job spec.
+	Request *JobSubmitRequest `json:"request,omitempty"`
+}
+
+// JobListResponse is the GET /v1/jobs reply (jobs in creation order).
+type JobListResponse struct {
+	Version int         `json:"version"`
+	Jobs    []JobStatus `json:"jobs"`
+}
+
+// NDJSON result-record discriminators (the "type" field of every line).
+const (
+	RecordCensusShard = "census_shard"
+	RecordCensusRow   = "census_row"
+	RecordEpsilonRow  = "epsilon_row"
+	RecordPlan        = "plan"
+	RecordSummary     = "summary"
+)
+
+// CensusBucket is one domain bucket of a census shard: the tallies over
+// sorted triples bucketed at domain exponent N (weighted by axis
+// permutations).  Count[m] counts shapes whose smallest working method is
+// m; Count[0] counts the exceptions (no method achieves ε = 1).
+type CensusBucket struct {
+	N     int       `json:"n"`
+	Count [5]uint64 `json:"count"`
+	Eps2  uint64    `json:"eps2"`
+	Total uint64    `json:"total"`
+}
+
+// CensusShardRecord is one census chunk's output: the tallies for every
+// sorted triple with first axis A.  Empty buckets are omitted.
+type CensusShardRecord struct {
+	Type    string         `json:"type"` // RecordCensusShard
+	A       int            `json:"a"`
+	Buckets []CensusBucket `json:"buckets"`
+}
+
+// CensusRowRecord is one cumulative Figure 2 row: the percentage of shapes
+// in the 2^N domain achieving minimal expansion with methods ≤ i (S[i-1]),
+// and with ε ≤ 2 after all methods (S4Eps2).
+type CensusRowRecord struct {
+	Type       string     `json:"type"` // RecordCensusRow
+	N          int        `json:"n"`
+	S          [4]float64 `json:"s"`
+	S4Eps2     float64    `json:"s4_eps2"`
+	Total      uint64     `json:"total"`
+	Exceptions uint64     `json:"exceptions"`
+}
+
+// EpsilonRowRecord is one ε-distribution row for the 2^N domain.
+type EpsilonRowRecord struct {
+	Type     string  `json:"type"` // RecordEpsilonRow
+	N        int     `json:"n"`
+	Eps1     float64 `json:"eps1"`
+	Eps2     float64 `json:"eps2"`
+	Eps4     float64 `json:"eps4"`
+	EpsWorse float64 `json:"eps_worse"`
+}
+
+// PlanRecord is one plansweep line: the planner's result for one shape.
+type PlanRecord struct {
+	Type          string `json:"type"` // RecordPlan
+	Shape         string `json:"shape"`
+	Nodes         int    `json:"nodes"`
+	CubeDim       int    `json:"cube_dim"`
+	Plan          string `json:"plan"`
+	Method        int    `json:"method"`
+	DilationBound int    `json:"dilation_bound"` // -1: no a-priori bound
+	Minimal       bool   `json:"minimal"`
+	// BestMethod and RelExpansion are the analytic §5 classification,
+	// present for 3-D shapes only.
+	BestMethod   int       `json:"best_method,omitempty"`
+	RelExpansion []float64 `json:"rel_expansion,omitempty"`
+}
+
+// SummaryRecord is the final line of every result stream.
+type SummaryRecord struct {
+	Type   string  `json:"type"` // RecordSummary
+	Kind   JobKind `json:"kind"`
+	Chunks int     `json:"chunks"`
+	Shapes uint64  `json:"shapes"`
+	// Exceptions is the census's count of shapes with no ε = 1 method in
+	// the full domain.
+	Exceptions uint64 `json:"exceptions,omitempty"`
+	// DilationHist maps dilation bound → shape count for plansweep
+	// ("unknown" keys the snake fallback); Minimal counts shapes whose plan
+	// reaches the minimal cube.
+	DilationHist map[string]uint64 `json:"dilation_hist,omitempty"`
+	Minimal      uint64            `json:"minimal,omitempty"`
+}

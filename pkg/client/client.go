@@ -1,0 +1,331 @@
+// Package client is the Go SDK for the embedding service's /v1 HTTP API.
+//
+// It speaks exactly the wire types of pkg/api: requests are the api request
+// structs, successes decode into the api response structs, and every
+// non-2xx response surfaces as a *api.Error — callers branch on the typed
+// code (errors.As) instead of parsing strings or status text.
+//
+// Retry policy: transient rejections — 429 over_capacity / queue_full and
+// 503 unavailable — are retried with exponential backoff, honouring the
+// server's Retry-After hint (header or retry_after_ms body field) when it
+// is longer than the backoff step.  504 timeout is retried for idempotent
+// GETs and for the compute endpoints, whose results land in the server's
+// cache while the client waits, so the retry is usually a hit.  Everything
+// else (400, 404, 422, 500) returns immediately.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Client calls one embedding service.  The zero value is not usable; use
+// New.  Client is immutable after New and safe for concurrent use.
+type Client struct {
+	base    string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+	// sleep is swappable for tests; it must respect ctx cancellation.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (connection
+// pooling, TLS, proxies).  The default has no overall timeout — per-call
+// deadlines belong to the caller's context.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetries bounds how many times a transient failure is retried
+// (default 4; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base backoff delay, doubled per attempt (default
+// 250ms).  The server's Retry-After hint overrides it when longer.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a Client for the service at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{},
+		retries: 4,
+		backoff: 250 * time.Millisecond,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// retryable reports whether a typed API error is worth retrying: the
+// request was rejected without (or before) being processed, or the result
+// is being computed and cached server-side.
+func retryable(e *api.Error) bool {
+	switch e.Code {
+	case api.CodeOverCapacity, api.CodeQueueFull, api.CodeUnavailable, api.CodeTimeout:
+		return true
+	}
+	return false
+}
+
+// decodeError turns a non-2xx response into a *api.Error, tolerating
+// non-envelope bodies (proxies, panics) by synthesizing one from the
+// status.
+func decodeError(resp *http.Response, body []byte) *api.Error {
+	var env api.ErrorResponse
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		e := env.Error
+		if e.RetryAfterMS == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				e.RetryAfterMS = int64(secs) * 1000
+			}
+		}
+		return e
+	}
+	code := api.CodeInternal
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		code = api.CodeOverCapacity
+	case http.StatusServiceUnavailable:
+		code = api.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		code = api.CodeTimeout
+	case http.StatusBadRequest:
+		code = api.CodeBadRequest
+	case http.StatusNotFound:
+		code = api.CodeNotFound
+	}
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &api.Error{Code: code, Message: msg}
+}
+
+// do runs one API call with the retry policy and decodes a 2xx body into
+// out (which may be nil to discard it).  body, when non-nil, is re-encoded
+// per attempt — requests must stay resubmittable for retry to be sound,
+// which the retried codes guarantee (the server rejected without side
+// effects, or the call is idempotent).
+func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err // transport errors carry ctx causes; don't mask them
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if rerr != nil {
+				return rerr
+			}
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("client: decode %s response: %w", path, err)
+			}
+			return nil
+		}
+		apiErr := decodeError(resp, data)
+		if attempt >= c.retries || !retryable(apiErr) {
+			return apiErr
+		}
+		wait := delay
+		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > wait {
+			wait = hint
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return apiErr // the context died while backing off; report the API failure
+		}
+		delay *= 2
+	}
+}
+
+// Healthz checks service liveness.
+func (c *Client) Healthz(ctx context.Context) (*api.HealthzResponse, error) {
+	var out api.HealthzResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan plans a shape without building the embedding.
+func (c *Client) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
+	var out api.PlanResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Embed plans, builds and measures one embedding.
+func (c *Client) Embed(ctx context.Context, req api.EmbedRequest) (*api.EmbedResponse, error) {
+	var out api.EmbedResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/embed", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compare measures one shape under every applicable technique.
+func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.CompareResponse, error) {
+	var out api.CompareResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compare", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitJob submits a batch sweep and returns its accepted (queued)
+// status.  A queue_full rejection is retried with backoff — the server
+// guarantees a rejected submit had no side effects.
+func (c *Client) SubmitJob(ctx context.Context, req api.JobSubmitRequest) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every job the server knows, in creation order.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out api.JobListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob cancels a job and returns its resulting status.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResults opens the job's NDJSON result stream starting at byte offset
+// (0 for the beginning).  The stream long-polls: it ends only when the job
+// is terminal and fully delivered, the context is cancelled, or the
+// connection drops.  The caller must Close the reader; to resume after a
+// drop, pass the total byte count consumed so far as the new offset.
+func (c *Client) JobResults(ctx context.Context, id string, offset int64) (io.ReadCloser, error) {
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/results", nil)
+		if err != nil {
+			return nil, err
+		}
+		if offset > 0 {
+			req.Header.Set(api.ResultsOffsetHeader, strconv.FormatInt(offset, 10))
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp.Body, nil
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		apiErr := decodeError(resp, data)
+		if attempt >= c.retries || !retryable(apiErr) {
+			return nil, apiErr
+		}
+		wait := delay
+		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > wait {
+			wait = hint
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return nil, apiErr
+		}
+		delay *= 2
+	}
+}
+
+// WatchJob polls a job until it reaches a terminal state, invoking fn on
+// every status observed (including the terminal one).  fn may be nil.  It
+// returns the terminal status; the error reports polling failures, not job
+// failure — inspect the returned state for that.
+func (c *Client) WatchJob(ctx context.Context, id string, interval time.Duration, fn func(api.JobStatus)) (*api.JobStatus, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if fn != nil {
+			fn(*st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil, err
+		}
+	}
+}
