@@ -1,8 +1,27 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt serve-smoke obs-smoke jobs-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke
 
-check: vet build test race bench-short serve-smoke obs-smoke jobs-smoke
+check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke
+
+# Regenerate the enumgen boilerplate (strategy names, plan kinds, guest
+# families).
+gen:
+	$(GO) generate ./...
+
+# Fail when a generated file drifted from its enum declaration — the wire
+# names of strategies, plan kinds and guest families are locked by
+# generated code, so forgetting `make gen` is a CI failure, not a silent
+# skew.
+gen-check:
+	@before=$$(find . -name '*_enumgen.go' | sort | xargs cksum); \
+	$(GO) generate ./... || exit 1; \
+	after=$$(find . -name '*_enumgen.go' | sort | xargs cksum); \
+	if [ "$$before" != "$$after" ]; then \
+		echo "gen-check: generated files drifted from their enum declarations;"; \
+		echo "gen-check: the regenerated files are now on disk - review and commit them."; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -32,17 +51,18 @@ bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... .
 
 # Machine-readable benchmarks for the repo's perf trajectory: the PR 2
-# metrics-engine suite, the PR 3 server-path handlers (cached vs uncached
-# /v1/embed via httptest), the PR 4 observability overhead pairs
-# (Measure vs MeasureTraced, cached handler vs tracing-off vs ?debug=trace)
-# and the PR 5 batch-job end-to-end throughput (submit → chunks →
-# checkpoints → finish, reported as shapes/sec); see EXPERIMENTS.md for the
-# recorded numbers.
+# metrics-engine suite (which since PR 6 includes the torus and cylinder
+# guest families on the 64³ shape), the PR 3 server-path handlers (cached
+# vs uncached /v1/embed via httptest), the PR 4 observability overhead
+# pairs (Measure vs MeasureTraced, cached handler vs tracing-off vs
+# ?debug=trace) and the PR 5 batch-job end-to-end throughput (submit →
+# chunks → checkpoints → finish, reported as shapes/sec); see
+# EXPERIMENTS.md for the recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+	  | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.

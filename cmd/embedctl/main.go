@@ -4,8 +4,10 @@
 // Usage:
 //
 //	embedctl plan 5x6x7              # show the decomposition plan
+//	embedctl plan -family torus 6x10 # plan a non-mesh guest family
 //	embedctl embed 5x6x7             # print metrics and the node map
-//	embedctl embed -torus 6x10       # wraparound mesh
+//	embedctl embed -torus 6x10       # wraparound mesh (= -family torus)
+//	embedctl embed -family tree 127  # complete binary tree guest
 //	embedctl embed -gray 5x6x7       # Gray-code baseline
 //	embedctl embed -o map.txt 5x6x7  # save the embedding to a file
 //	embedctl verify map.txt          # reload and verify a saved embedding
@@ -21,21 +23,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/manyone"
 	"repro/internal/mesh"
 	"repro/internal/reshape"
-	"repro/internal/wrap"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  embedctl plan <shape>                 show the decomposition plan
-  embedctl embed [-gray|-torus] [-map] <shape>
-                                        build, verify and measure
+  embedctl plan [-family F] <shape>     show the decomposition plan
+  embedctl embed [-family F|-gray|-torus] [-map] <shape>
+                                        build, verify and measure; F is the
+                                        guest family (mesh, torus, cylinder,
+                                        tree; -torus = -family torus)
   embedctl verify <file>                reload and verify a saved embedding
   embedctl manyone -cube <n> <shape>    many-to-one embedding (Corollary 5)
   embedctl compare <l1>x<l2>            reshaping-vs-decomposition table
-  embedctl sweep [-dims k] [-max L] [-nodes N] [-workers W] [-build]
+  embedctl sweep [-family F] [-dims k] [-max L] [-nodes N] [-workers W]
+                 [-build]
                                         plan every sorted k-D shape with axes
                                         ≤ L and ≤ N nodes through one shared
                                         Planner; report dilation histogram
@@ -105,10 +110,28 @@ func parseShape(args []string) mesh.Shape {
 	return s
 }
 
+// parseFamily resolves a -family flag value ("" means mesh).
+func parseFamily(name string) guest.Family {
+	d, err := guest.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(2)
+	}
+	return d.Family
+}
+
 func cmdPlan(args []string) {
-	s := parseShape(args)
-	p := core.PlanShape(s, core.DefaultOptions)
-	fmt.Printf("shape:        %s (%d nodes)\n", s, s.Nodes())
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	family := fs.String("family", "", "guest family: mesh (default), torus, cylinder or tree")
+	_ = fs.Parse(args)
+	fam := parseFamily(*family)
+	s := parseShape(fs.Args())
+	p, err := core.PlanGuest(fam, s, core.DefaultOptions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("shape:        %s (%d nodes, family %s)\n", s, s.Nodes(), fam)
 	fmt.Printf("minimal cube: %d dimensions (%d nodes)\n", s.MinCubeDim(), 1<<uint(s.MinCubeDim()))
 	fmt.Printf("plan:         %s\n", p)
 	fmt.Printf("paper method: %d\n", p.Method)
@@ -122,20 +145,34 @@ func cmdPlan(args []string) {
 func cmdEmbed(args []string) {
 	fs := flag.NewFlagSet("embed", flag.ExitOnError)
 	gray := fs.Bool("gray", false, "use the Gray-code baseline instead of decomposition")
-	torus := fs.Bool("torus", false, "treat the shape as a wraparound mesh")
+	torus := fs.Bool("torus", false, "treat the shape as a wraparound mesh (= -family torus)")
+	family := fs.String("family", "", "guest family: mesh (default), torus, cylinder or tree")
 	dumpMap := fs.Bool("map", false, "print the full node map")
 	outFile := fs.String("o", "", "write the embedding to this file")
 	_ = fs.Parse(args)
+	fam := parseFamily(*family)
+	if *torus {
+		if *family != "" && fam != guest.Torus {
+			fmt.Fprintln(os.Stderr, "embedctl: -torus conflicts with -family", *family)
+			os.Exit(2)
+		}
+		fam = guest.Torus
+	}
 	s := parseShape(fs.Args())
 
 	var e *embed.Embedding
-	switch {
-	case *torus:
-		e = wrap.Embed(s, core.DefaultOptions)
-	case *gray:
+	if *gray {
+		if fam != guest.Mesh {
+			fmt.Fprintln(os.Stderr, "embedctl: -gray applies to the mesh family only")
+			os.Exit(2)
+		}
 		e = embed.Gray(s)
-	default:
-		p := core.PlanShape(s, core.DefaultOptions)
+	} else {
+		p, err := core.PlanGuest(fam, s, core.DefaultOptions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embedctl:", err)
+			os.Exit(2)
+		}
 		fmt.Printf("plan: %s\n", p)
 		e = p.Build()
 	}

@@ -8,10 +8,10 @@ import (
 	"repro/internal/sweep"
 )
 
-// cmdSweep plans every sorted k-dimensional shape within the axis and node
-// bounds through one shared Planner, fanning the work across the sweep
-// worker pool.  The enumeration order (and therefore the report) is
-// deterministic for any worker count.
+// cmdSweep plans every canonical k-dimensional guest shape of the family
+// within the axis and node bounds through one shared Planner, fanning the
+// work across the sweep worker pool.  The enumeration order (and therefore
+// the report) is deterministic for any worker count.
 func cmdSweep(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	dims := fs.Int("dims", 3, "mesh dimensionality")
@@ -19,12 +19,14 @@ func cmdSweep(args []string) {
 	maxNodes := fs.Int("nodes", 4096, "skip shapes with more nodes")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	build := fs.Bool("build", false, "build + verify every embedding and measure real dilation")
+	family := fs.String("family", "", "guest family: mesh (default), torus, cylinder or tree")
 	_ = fs.Parse(args)
+	fam := parseFamily(*family)
 	if *dims < 1 || *maxLen < 1 {
 		usage()
 	}
 
-	shapes := core.SortedShapes(*dims, *maxLen, *maxNodes)
+	shapes := core.FamilyShapes(fam, *dims, *maxLen, *maxNodes)
 	if len(shapes) == 0 {
 		fmt.Println("no shapes in range")
 		return
@@ -37,7 +39,7 @@ func cmdSweep(args []string) {
 		measured bool
 	}
 	rows := sweep.Map(len(shapes), *workers, func(i int) row {
-		p := planner.Plan(shapes[i])
+		p := planner.PlanGuest(fam, shapes[i])
 		r := row{dilation: p.Dilation, minimal: p.Minimal()}
 		if *build {
 			e := p.Build()
@@ -66,8 +68,8 @@ func cmdSweep(args []string) {
 	if *build {
 		kind = "measured dilation"
 	}
-	fmt.Printf("%d shapes (%d-D, axes ≤ %d, ≤ %d nodes), %s:\n",
-		len(shapes), *dims, *maxLen, *maxNodes, kind)
+	fmt.Printf("%d %s shapes (%d-D, axes ≤ %d, ≤ %d nodes), %s:\n",
+		len(shapes), fam, *dims, *maxLen, *maxNodes, kind)
 	for d := 0; d <= *maxLen**maxLen; d++ {
 		if hist[d] > 0 {
 			fmt.Printf("  dilation %d: %d\n", d, hist[d])

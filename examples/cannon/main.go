@@ -41,7 +41,7 @@ func main() {
 	// The same run on a padded 8x8 Gray torus for contrast: single-hop
 	// shifts, but 64 processes for 36 processes' worth of work.
 	gray := repro.EmbedGray(repro.Shape{8, 8})
-	gray.Embedding.Wrap = true
+	gray.Embedding.Family = repro.FamilyTorus
 	a2 := linalg.NewMatrix(32, 32)
 	b2 := linalg.NewMatrix(32, 32)
 	for i := range a2.Data {

@@ -55,7 +55,7 @@ func unfold(fe *embed.Embedding, guest mesh.Shape, axis, a, b int) *embed.Embedd
 // paper's §3.3 toolset classifies as an exception.
 type FoldStrategy struct{}
 
-func (FoldStrategy) Name() string { return "fold" }
+func (FoldStrategy) Name() string { return StrategyFold.String() }
 
 func (FoldStrategy) Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan {
 	return pc.planByFolding(s, foldDepth)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mesh"
+)
+
+// The pinned values below were captured from the pre-refactor planner and
+// fused metrics engine (PR 5 tree) with:
+//
+//	plan   := PlanShape(s, DefaultOptions)   // resp. wrap.Embed for tori
+//	metric := plan.Build().Measure().String()
+//
+// The guest-family refactor must keep mesh and torus results byte-identical:
+// same plan tree, same method, same dilation bound, and the same fused
+// metrics line character for character.
+
+// TestGoldenMeshPlansUnchanged pins the mesh planner + metrics output.
+func TestGoldenMeshPlansUnchanged(t *testing.T) {
+	cases := []struct {
+		shape   string
+		plan    string
+		method  int
+		metrics string
+	}{
+		{"64x64x64", "64x64x64[gray]", 1,
+			"64x64x64 -> 18-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 cong=1 avgcong=0.3281 load=1"},
+		{"5x6x7", "(5x3x1[direct] ⊗ 1x2x7[gray])", 2,
+			"5x6x7 -> 8-cube: exp=1.2190 minimal=true dil=2 avgdil=1.0803 cong=2 avgcong=0.5518 load=1"},
+		{"3x5x17", "3x5x17[snake]", 5,
+			"3x5x17 -> 8-cube: exp=1.0039 minimal=true dil=5 avgdil=2.0619 cong=5 avgcong=1.2363 load=1"},
+		{"6x10", "(3x5[direct] ⊗ 2x2[gray])", 5,
+			"6x10 -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1154 cong=2 avgcong=0.6042 load=1"},
+		{"12x20", "(3x5[direct] ⊗ 4x4[gray])", 5,
+			"12x20 -> 8-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1071 cong=2 avgcong=0.4844 load=1"},
+	}
+	for _, tc := range cases {
+		s, err := mesh.ParseShape(tc.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := PlanShape(s, DefaultOptions)
+		if got := p.String(); got != tc.plan {
+			t.Errorf("%s: plan drifted: %s, want %s", tc.shape, got, tc.plan)
+		}
+		if p.Method != tc.method {
+			t.Errorf("%s: method drifted: %d, want %d", tc.shape, p.Method, tc.method)
+		}
+		if got := p.Build().Measure().String(); got != tc.metrics {
+			t.Errorf("%s: metrics drifted:\n got %s\nwant %s", tc.shape, got, tc.metrics)
+		}
+		// The family entry point must produce the identical plan for meshes.
+		pg, err := PlanGuest(guest.Mesh, s, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.String() != tc.plan || pg.Method != tc.method {
+			t.Errorf("%s: PlanGuest(mesh) diverges from PlanShape: %s method %d", tc.shape, pg, pg.Method)
+		}
+	}
+}
+
+// TestGoldenTorusMetricsUnchanged pins the torus construction choice and
+// fused metrics against the pre-refactor wrap.Embed output.
+func TestGoldenTorusMetricsUnchanged(t *testing.T) {
+	cases := []struct {
+		shape   string
+		metrics string
+	}{
+		{"6x10", "6x10 (wraparound) -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1000 cong=2 avgcong=0.6875 load=1"},
+		{"5x6x7", "5x6x7 (wraparound) -> 8-cube: exp=1.2190 minimal=true dil=7 avgdil=2.5143 cong=7 avgcong=1.5469 load=1"},
+		{"16x16", "16x16 (wraparound) -> 8-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 cong=1 avgcong=0.5000 load=1"},
+	}
+	for _, tc := range cases {
+		s, err := mesh.ParseShape(tc.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PlanGuest(guest.Torus, s, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Build().Measure().String(); got != tc.metrics {
+			t.Errorf("torus %s: metrics drifted:\n got %s\nwant %s", tc.shape, got, tc.metrics)
+		}
+	}
+}

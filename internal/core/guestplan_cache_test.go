@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mesh"
+)
+
+// TestGuestPlanCylinderPermutedHit: cylinders canonicalize by sorting the
+// path prefix while the wrapped last axis stays distinguished, so permuting
+// the prefix must hit the same cache entry and return the axis-mapped tree
+// with identical construction guarantees.
+func TestGuestPlanCylinderPermutedHit(t *testing.T) {
+	pl := NewPlanner(DefaultOptions)
+	base := pl.PlanGuest(guest.Cylinder, mesh.Shape{3, 4, 6})
+	before := pl.CacheStats()
+	perm := pl.PlanGuest(guest.Cylinder, mesh.Shape{4, 3, 6})
+	after := pl.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("prefix-permuted cylinder missed the cache: %+v -> %+v", before, after)
+	}
+	if perm.Dilation != base.Dilation || perm.CubeDim != base.CubeDim ||
+		perm.Kind != base.Kind || perm.Method != base.Method {
+		t.Errorf("permuted cylinder plan diverged: %s (dil %d) vs %s (dil %d)",
+			perm, perm.Dilation, base, base.Dilation)
+	}
+	if perm.Shape.String() != "4x3x6" {
+		t.Errorf("permuted plan not mapped back to caller order: %s", perm.Shape)
+	}
+	e := perm.Build()
+	if err := e.Verify(); err != nil {
+		t.Fatalf("permuted cylinder embedding invalid: %v", err)
+	}
+	bm, pm := base.Build().Measure(), e.Measure()
+	if pm.CubeDim != bm.CubeDim || pm.Minimal != bm.Minimal || pm.Dilation != bm.Dilation {
+		t.Errorf("permuted cylinder metrics diverged: %+v vs %+v", pm, bm)
+	}
+}
+
+// TestGuestPlanCylinderLastAxisDistinct: a cylinder is NOT invariant under
+// moving the wrapped axis — 6x4x3 (wrap 3) is a different guest than 3x4x6
+// (wrap 6) — so the planner must not serve one from the other's cache
+// entry even though both are permutations of the same multiset.
+func TestGuestPlanCylinderLastAxisDistinct(t *testing.T) {
+	pl := NewPlanner(DefaultOptions)
+	a := pl.PlanGuest(guest.Cylinder, mesh.Shape{3, 4, 6})
+	before := pl.CacheStats()
+	b := pl.PlanGuest(guest.Cylinder, mesh.Shape{6, 4, 3})
+	after := pl.CacheStats()
+	if after.Misses <= before.Misses {
+		t.Errorf("cylinder with a different wrapped axis hit the cache: %+v -> %+v", before, after)
+	}
+	if err := a.Build().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Build().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuestPlanTorusFamilyKeyedSeparately: the same shape planned as a
+// torus and as a mesh must occupy distinct cache entries — the family is
+// part of the key (the regression behind the /v1 cache fix).
+func TestGuestPlanTorusFamilyKeyedSeparately(t *testing.T) {
+	pl := NewPlanner(DefaultOptions)
+	mp := pl.PlanGuest(guest.Mesh, mesh.Shape{4, 4, 4})
+	tp := pl.PlanGuest(guest.Torus, mesh.Shape{4, 4, 4})
+	// 4x4x4 is all powers of two: the mesh plan is the reflected Gray code
+	// (KindGray via strategy pipeline), the torus plan the cyclic Gray code
+	// stamped with the torus family.  Both are dilation 1 but the built
+	// embeddings differ on wrap edges, so families must not share entries.
+	if tp.Family != guest.Torus || mp.Family != guest.Mesh {
+		t.Fatalf("family stamps wrong: mesh %v torus %v", mp.Family, tp.Family)
+	}
+	me, te := mp.Build(), tp.Build()
+	if me.Family == te.Family {
+		t.Errorf("mesh and torus plans built embeddings of the same family %v", me.Family)
+	}
+	mm, tm := me.Measure(), te.Measure()
+	if mm.Wrap || !tm.Wrap {
+		t.Errorf("wrap flags wrong: mesh %+v torus %+v", mm, tm)
+	}
+}
+
+// TestGuestPlanTreeCached: trees have an identity canonical form; repeated
+// planning must hit the cache and the plan must keep the tree guarantees
+// (dilation 2, minimal cube).
+func TestGuestPlanTreeCached(t *testing.T) {
+	pl := NewPlanner(DefaultOptions)
+	first := pl.PlanGuest(guest.Tree, mesh.Shape{31})
+	before := pl.CacheStats()
+	again := pl.PlanGuest(guest.Tree, mesh.Shape{31})
+	after := pl.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("replanning the tree missed the cache: %+v -> %+v", before, after)
+	}
+	if first.String() != again.String() || first.Dilation != 2 || first.CubeDim != 5 {
+		t.Errorf("tree plan drifted: %s dil %d cube %d", first, first.Dilation, first.CubeDim)
+	}
+	m := first.Build().Measure()
+	if m.Dilation != 2 || !m.Minimal {
+		t.Errorf("tree embedding metrics: %+v", m)
+	}
+}

@@ -9,11 +9,17 @@ import (
 	"repro/internal/direct"
 	"repro/internal/embed"
 	"repro/internal/gray"
+	"repro/internal/guest"
 	"repro/internal/mesh"
+	"repro/internal/ring"
 	"repro/internal/stats"
 )
 
-// Kind enumerates the constructions a Plan node can take.
+//go:generate go run repro/cmd/enumgen -type Kind,StrategyID
+
+// Kind enumerates the constructions a Plan node can take.  The String/Set
+// and text-marshalling boilerplate is generated (kind_enumgen.go) from this
+// constant block, so the wire names track the declarations.
 type Kind int
 
 const (
@@ -24,27 +30,9 @@ const (
 	KindSolver              // embedding found by internal/solver at plan time
 	KindSnake               // snake-order Gray fallback (valid, dilation measured)
 	KindFold                // axis folded into two axes (ℓ = a·b), child planned
+	KindRing                // Section 6 strip construction of the wrapped axes
+	KindTree                // inorder labeling of the complete binary tree
 )
-
-func (k Kind) String() string {
-	switch k {
-	case KindGray:
-		return "gray"
-	case KindDirect:
-		return "direct"
-	case KindProduct:
-		return "product"
-	case KindSubMesh:
-		return "submesh"
-	case KindSolver:
-		return "solver"
-	case KindSnake:
-		return "snake"
-	case KindFold:
-		return "fold"
-	}
-	return "unknown"
-}
 
 // DilationUnknown marks constructions with no a-priori dilation bound.
 const DilationUnknown = 1 << 20
@@ -55,8 +43,9 @@ const CongestionUnknown = 1 << 20
 // Plan is a construction tree for an embedding.  Build realizes it.
 type Plan struct {
 	Kind    Kind
-	Shape   mesh.Shape // guest shape this node embeds
-	CubeDim int        // host cube dimension
+	Family  guest.Family // guest family of this node (zero: mesh)
+	Shape   mesh.Shape   // guest shape this node embeds
+	CubeDim int          // host cube dimension
 
 	// Dilation is the bound guaranteed by the construction rules
 	// (Theorem 3 for products); DilationUnknown when no bound is known
@@ -76,6 +65,11 @@ type Plan struct {
 	// (appended), consecutive strips reflected so the fold costs no
 	// dilation.
 	FoldAxis, FoldA, FoldB int
+
+	// RingDiv is the strip divisor of a KindRing node (2: halving, Lemma 3;
+	// 4: quartering, Lemma 4), applied to every axis for a torus and to the
+	// last axis only for a cylinder.  Child plans the strip-column mesh.
+	RingDiv int
 
 	solved *embed.Embedding // Solver: the embedding found during planning
 }
@@ -103,8 +97,13 @@ func (p *Plan) Depth() int {
 
 // CongestionBound returns the congestion guaranteed by the construction
 // rules (Theorem 3 propagates the maximum across product factors), or
-// CongestionUnknown for the snake fallback.
+// CongestionUnknown for the snake fallback.  Non-mesh families route extra
+// (wraparound or tree) edges over the same links, so their congestion is
+// always measured rather than bounded.
 func (p *Plan) CongestionBound() int {
+	if p.Family != guest.Mesh {
+		return CongestionUnknown
+	}
 	switch p.Kind {
 	case KindGray:
 		return 1
@@ -187,8 +186,25 @@ func (p *Plan) Build() *embed.Embedding {
 		e = Snake(p.Shape)
 	case KindFold:
 		e = unfold(p.Child.Build(), p.Shape, p.FoldAxis, p.FoldA, p.FoldB)
+	case KindRing:
+		base := p.Child.Build()
+		k := p.Shape.Dims()
+		lays := make([]ring.Layout, k)
+		for i := range lays {
+			if p.Family == guest.Cylinder && i < k-1 {
+				lays[i] = ring.Identity(p.Shape[i])
+			} else {
+				lays[i] = ring.ForDiv(p.RingDiv, p.Shape[i])
+			}
+		}
+		e = ring.Assemble(base, p.Shape, lays)
+	case KindTree:
+		e = embed.TreeInorder(p.Shape)
 	default:
 		panic("core: unknown plan kind")
+	}
+	if e.Family != p.Family {
+		e.Family = p.Family
 	}
 	if !e.Guest.Equal(p.Shape) {
 		panic(fmt.Sprintf("core: plan for %v built %v", p.Shape, e.Guest))

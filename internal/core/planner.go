@@ -139,7 +139,7 @@ func permutePlan(p *Plan, axmap []int) *Plan {
 func permuteEmbedding(e *embed.Embedding, axmap []int) *embed.Embedding {
 	ns := permuteShape(e.Guest, axmap)
 	out := embed.New(ns, e.N)
-	out.Wrap = e.Wrap
+	out.Family = e.Family
 	out.AllowLongPaths = e.AllowLongPaths
 	k := ns.Dims()
 	oc := make([]int, k)

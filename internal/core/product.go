@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -44,8 +45,8 @@ func padShape(s mesh.Shape, k int) mesh.Shape {
 // Shapes of different arity are aligned by padding with trailing 1s.
 // Wraparound embeddings are not composable here (see package wrap).
 func Product(e1, e2 *embed.Embedding) *embed.Embedding {
-	if e1.Wrap || e2.Wrap {
-		panic("core: Product requires non-wraparound factors")
+	if e1.Family != guest.Mesh || e2.Family != guest.Mesh {
+		panic("core: Product requires plain mesh factors")
 	}
 	k := e1.Guest.Dims()
 	if e2.Guest.Dims() > k {
@@ -178,8 +179,8 @@ func factorPath(e *embed.Embedding, u, v int) cube.Path {
 // submesh are edges of the mesh, so dilation and congestion cannot increase;
 // the host cube is unchanged.
 func SubMesh(e *embed.Embedding, target mesh.Shape) *embed.Embedding {
-	if e.Wrap {
-		panic("core: SubMesh requires a non-wraparound embedding")
+	if e.Family != guest.Mesh {
+		panic("core: SubMesh requires a plain mesh embedding")
 	}
 	big := padShape(e.Guest, target.Dims())
 	tgt := padShape(target, e.Guest.Dims())

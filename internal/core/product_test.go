@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 	"repro/internal/solver"
 )
@@ -198,7 +199,7 @@ func TestSubMeshPanicsOnBadTarget(t *testing.T) {
 
 func TestProductPanicsOnWrap(t *testing.T) {
 	e1 := embed.Gray(mesh.Shape{4})
-	e1.Wrap = true
+	e1.Family = guest.Torus
 	e2 := embed.Gray(mesh.Shape{4})
 	defer func() {
 		if recover() == nil {

@@ -11,7 +11,7 @@ import (
 // the registry stops the two-axis pipeline on it.
 type DirectStrategy struct{}
 
-func (DirectStrategy) Name() string { return "direct" }
+func (DirectStrategy) Name() string { return StrategyDirect.String() }
 
 func (DirectStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	tab, _, ok := direct.Lookup(s)
@@ -27,7 +27,7 @@ func (DirectStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 // a structured plan exists.
 type SolverStrategy struct{}
 
-func (SolverStrategy) Name() string { return "solver" }
+func (SolverStrategy) Name() string { return StrategySolver.String() }
 
 func (SolverStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	return pc.planBySolver(s)

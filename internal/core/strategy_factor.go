@@ -11,7 +11,7 @@ import (
 // solver) — the paper's method 3 generalized to richer decompositions.
 type FactorStrategy struct{}
 
-func (FactorStrategy) Name() string { return "factor" }
+func (FactorStrategy) Name() string { return StrategyFactor.String() }
 
 func (FactorStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	return pc.planByFactoring(s, 0)
@@ -119,7 +119,7 @@ func axisInjections(t, s mesh.Shape) [][]int {
 // a SubMesh node — the paper's extension step.
 type ExtendStrategy struct{}
 
-func (ExtendStrategy) Name() string { return "extend" }
+func (ExtendStrategy) Name() string { return StrategyExtend.String() }
 
 func (ExtendStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	return pc.planByExtension(s)

@@ -12,7 +12,7 @@ import (
 // two-dimensionally otherwise.
 type HighDimStrategy struct{}
 
-func (HighDimStrategy) Name() string { return "highdim" }
+func (HighDimStrategy) Name() string { return StrategyHighDim.String() }
 
 func (HighDimStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	return pc.planHighDim(s)

@@ -10,7 +10,7 @@ import (
 // axis pair two-dimensionally and the remaining axis by a Gray code.
 type PairGrayStrategy struct{}
 
-func (PairGrayStrategy) Name() string { return "pair+gray" }
+func (PairGrayStrategy) Name() string { return StrategyPairGray.String() }
 
 func (PairGrayStrategy) Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan {
 	return pc.planPairPlusGray(s, foldDepth)
@@ -63,7 +63,7 @@ func (pc *planContext) planPairPlusGray(s mesh.Shape, foldDepth int) *Plan {
 // restricting to the guest at the end.
 type Split2DStrategy struct{}
 
-func (Split2DStrategy) Name() string { return "split2d" }
+func (Split2DStrategy) Name() string { return StrategySplit2D.String() }
 
 func (Split2DStrategy) Search(pc *planContext, s mesh.Shape, _ int) *Plan {
 	return pc.planBy2DSplit(s)
@@ -160,7 +160,7 @@ func (pc *planContext) planBy2DSplit(s mesh.Shape) *Plan {
 // restricting to the guest at the end.
 type Split3DStrategy struct{}
 
-func (Split3DStrategy) Name() string { return "split3d" }
+func (Split3DStrategy) Name() string { return StrategySplit3D.String() }
 
 func (Split3DStrategy) Search(pc *planContext, s mesh.Shape, foldDepth int) *Plan {
 	return pc.planBySplit(s, foldDepth)

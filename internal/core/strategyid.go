@@ -1,0 +1,20 @@
+package core
+
+// StrategyID enumerates the planner's registered strategies.  The wire
+// names — the strings Strategy.Name returns, the keys of provenance traces
+// and `embedctl explain` output — are generated from this constant block
+// (strategyid_enumgen.go), so adding a strategy means adding a constant
+// here and its Name method delegating to String.
+type StrategyID int
+
+const (
+	StrategyDirect StrategyID = iota
+	StrategySolver
+	StrategyFactor
+	StrategyExtend
+	StrategyHighDim
+	StrategyPairGray // pair+gray
+	StrategySplit2D
+	StrategySplit3D
+	StrategyFold
+)

@@ -10,15 +10,20 @@ import (
 	"fmt"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
-// Embedding maps a guest mesh into a Boolean N-cube.
+// Embedding maps a guest graph into a Boolean N-cube.
 //
-// Map[i] is the cube node hosting guest node i (dense mesh index, axis 0
-// fastest).  For one-to-one embeddings Map must be injective; many-to-one
-// embeddings (Section 7 of the paper) relax this and are validated with
-// VerifyManyToOne.
+// The guest is a (Family, Shape) pair from the guest-family registry: the
+// Shape fixes the node set (dense indices, axis 0 fastest) and the Family
+// fixes the edge interpretation (mesh, torus, cylinder, tree, …).  The
+// zero Family is guest.Mesh, so plain mesh embeddings need no extra setup.
+//
+// Map[i] is the cube node hosting guest node i.  For one-to-one embeddings
+// Map must be injective; many-to-one embeddings (Section 7 of the paper)
+// relax this and are validated with VerifyManyToOne.
 //
 // Paths, if non-nil, realizes guest edge e as an explicit cube path.  When a
 // guest edge has no entry, metrics fall back to e-cube (dimension-ordered)
@@ -26,10 +31,10 @@ import (
 // of an edge uses at least Dist hops; stored paths are validated to be
 // shortest unless AllowLongPaths is set).
 type Embedding struct {
-	Guest mesh.Shape
-	Wrap  bool // guest has wraparound edges (torus)
-	N     int  // host cube dimension
-	Map   []cube.Node
+	Guest  mesh.Shape
+	Family guest.Family // edge interpretation of Guest (zero: mesh)
+	N      int          // host cube dimension
+	Map    []cube.Node
 
 	// Paths optionally pins the host path of selected guest edges,
 	// keyed by the canonical edge (U < V handled by EdgeKey).
@@ -53,9 +58,10 @@ func Key(u, v int) EdgeKey {
 }
 
 // New allocates an embedding of the guest shape into an n-cube with an
-// all-zero map (to be filled in by a constructor).
-func New(guest mesh.Shape, n int) *Embedding {
-	return &Embedding{Guest: guest.Clone(), N: n, Map: make([]cube.Node, guest.Nodes())}
+// all-zero map (to be filled in by a constructor).  The family defaults to
+// mesh; constructors of other families set Family themselves.
+func New(s mesh.Shape, n int) *Embedding {
+	return &Embedding{Guest: s.Clone(), N: n, Map: make([]cube.Node, s.Nodes())}
 }
 
 // HostNodes returns 2^N.
@@ -70,21 +76,18 @@ func (e *Embedding) Expansion() float64 {
 // N == ⌈log₂ |V(G)|⌉.
 func (e *Embedding) Minimal() bool { return e.N == e.Guest.MinCubeDim() }
 
-// eachGuestEdge iterates guest edges respecting the Wrap flag.
+// Wraps reports whether the guest family has wraparound edges.
+func (e *Embedding) Wraps() bool { return guest.Get(e.Family).Wraps }
+
+// eachGuestEdge iterates guest edges under the family's interpretation.
 func (e *Embedding) eachGuestEdge(fn func(mesh.Edge)) {
-	if e.Wrap {
-		e.Guest.EachTorusEdge(fn)
-	} else {
-		e.Guest.EachEdge(fn)
-	}
+	guest.Get(e.Family).EachEdgeRange(e.Guest, 0, e.Guest.Nodes(), fn)
 }
 
-// NumGuestEdges returns the number of guest edges (respecting Wrap).
+// NumGuestEdges returns the number of guest edges under the family's
+// interpretation.
 func (e *Embedding) NumGuestEdges() int {
-	if e.Wrap {
-		return e.Guest.TorusEdges()
-	}
-	return e.Guest.Edges()
+	return guest.Get(e.Family).Edges(e.Guest)
 }
 
 // EdgeDilation returns the dilation of one guest edge: the length of its
@@ -236,7 +239,7 @@ func (e *Embedding) Verify() error {
 func (e *Embedding) VerifyManyToOne() error { return e.verifyCommon() }
 
 func (e *Embedding) verifyCommon() error {
-	if err := e.Guest.Validate(); err != nil {
+	if err := guest.Validate(e.Family, e.Guest); err != nil {
 		return err
 	}
 	if e.N < 0 || e.N > 62 {
@@ -343,9 +346,12 @@ func (e *Embedding) RealizeMinCongestion() {
 	})
 }
 
-// Metrics bundles the quality measures for reporting.
+// Metrics bundles the quality measures for reporting.  Family names the
+// guest family ("mesh", "torus", "cylinder", "tree"); Wrap is kept as the
+// historical torus marker for wire compatibility.
 type Metrics struct {
 	Guest         string
+	Family        string
 	Wrap          bool
 	CubeDim       int
 	Expansion     float64
@@ -365,11 +371,15 @@ func (e *Embedding) Measure() Metrics {
 	return e.MeasureParallel(0)
 }
 
-// String renders the metrics compactly.
+// String renders the metrics compactly.  The torus keeps its historical
+// " (wraparound)" marker; other non-mesh families show their name.
 func (m Metrics) String() string {
 	w := ""
-	if m.Wrap {
+	switch {
+	case m.Wrap || m.Family == "torus":
 		w = " (wraparound)"
+	case m.Family != "" && m.Family != "mesh":
+		w = " (" + m.Family + ")"
 	}
 	return fmt.Sprintf("%s%s -> %d-cube: exp=%.4f minimal=%v dil=%d avgdil=%.4f cong=%d avgcong=%.4f load=%d",
 		m.Guest, w, m.CubeDim, m.Expansion, m.Minimal, m.Dilation, m.AvgDilation, m.Congestion, m.AvgCongestion, m.LoadFactor)

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -69,7 +70,7 @@ func TestGrayRingWraparound(t *testing.T) {
 
 func TestGrayTorusPowerOfTwo(t *testing.T) {
 	e := Gray(mesh.Shape{4, 8})
-	e.Wrap = true
+	e.Family = guest.Torus
 	if d := e.Dilation(); d != 1 {
 		t.Errorf("power-of-two torus Gray dilation %d, want 1", d)
 	}

@@ -3,6 +3,7 @@ package embed
 import (
 	"repro/internal/cube"
 	"repro/internal/gray"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -25,10 +26,11 @@ func Gray(s mesh.Shape) *Embedding {
 // GrayRing returns the dilation-one embedding of a wraparound axis of
 // power-of-two length: the cyclic Gray code.  For a multi-axis torus with
 // all power-of-two axes, Gray already yields dilation one including the
-// wraparound edges (set Wrap on the result); this helper exists for rings.
+// wraparound edges (set Family to torus on the result); this helper exists
+// for rings.
 func GrayRing(length int) *Embedding {
 	e := Gray(mesh.Shape{length})
-	e.Wrap = true
+	e.Family = guest.Torus
 	return e
 }
 

@@ -1,0 +1,74 @@
+package embed
+
+import (
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/mesh"
+)
+
+// MeasureOnHost computes the embedding's Metrics through the Host interface
+// — generic addressing, routing and link indexing — instead of the fused
+// cube-specialized engine of metrics.go.  It is the reference semantics of
+// the host seam: for the Boolean cube it must agree with Measure bit for
+// bit on every registered guest family (the conformance suite asserts
+// this), and it is what a future non-cube host would be measured by before
+// earning a specialized pass.
+func (e *Embedding) MeasureOnHost(h host.Host) Metrics {
+	loads := make([]int, h.NumLinks(e.N))
+	edges, dilSum, maxDil := 0, 0, 0
+	visit := func(ed mesh.Edge) {
+		var p []host.Node
+		if e.Paths != nil {
+			if pin, ok := e.Paths[Key(ed.U, ed.V)]; ok {
+				p = pin
+			}
+		}
+		var d int
+		if p != nil {
+			d = len(p) - 1 // pinned path length, as in EdgeDilation
+		} else {
+			d = h.Dist(e.Map[ed.U], e.Map[ed.V], e.N)
+			p = h.Route(e.Map[ed.U], e.Map[ed.V], e.N)
+		}
+		edges++
+		dilSum += d
+		if d > maxDil {
+			maxDil = d
+		}
+		for i := 0; i+1 < len(p); i++ {
+			loads[h.LinkIndex(p[i], p[i+1], e.N)]++
+		}
+	}
+	guest.Get(e.Family).EachEdgeRange(e.Guest, 0, e.Guest.Nodes(), visit)
+
+	m := Metrics{
+		Guest:     e.Guest.String(),
+		Family:    e.Family.String(),
+		Wrap:      e.Family == guest.Torus,
+		CubeDim:   e.N,
+		Expansion: float64(h.Nodes(e.N)) / float64(e.Guest.Nodes()),
+		Minimal:   h.MinSize(e.Guest.Nodes()) == e.N,
+		Dilation:  maxDil,
+	}
+	if edges > 0 {
+		m.AvgDilation = float64(dilSum) / float64(edges)
+	}
+	sum := 0
+	for _, c := range loads {
+		if c > m.Congestion {
+			m.Congestion = c
+		}
+		sum += c
+	}
+	if len(loads) > 0 {
+		m.AvgCongestion = float64(sum) / float64(len(loads))
+	}
+	counts := make(map[host.Node]int)
+	for _, img := range e.Map {
+		counts[img]++
+		if counts[img] > m.LoadFactor {
+			m.LoadFactor = counts[img]
+		}
+	}
+	return m
+}

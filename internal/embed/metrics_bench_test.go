@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 	"repro/internal/obs"
 )
@@ -12,6 +13,15 @@ import (
 // benchGray returns the Gray embedding of the shape — the standard large
 // unpinned-edge workload (every edge routed e-cube).
 func benchGray(s mesh.Shape) *Embedding { return Gray(s) }
+
+// benchFamily is benchGray under another guest family: the same map, with
+// the edge set (and therefore the fused traversal) reinterpreted — the
+// wraparound families add their wrap edges on top of the mesh edges.
+func benchFamily(s mesh.Shape, f guest.Family) *Embedding {
+	e := Gray(s)
+	e.Family = f
+	return e
+}
 
 // benchPinned returns a 3x5x17 embedding with a deliberately scrambled map
 // (identity reshaping of the dense index into the 8-cube) so that many edges
@@ -35,6 +45,8 @@ func BenchmarkMeasure(b *testing.B) {
 		{"16x16x16", benchGray(mesh.Shape{16, 16, 16})},
 		{"64x64x64", benchGray(mesh.Shape{64, 64, 64})},
 		{"3x5x17pinned", benchPinned()},
+		{"torus64x64x64", benchFamily(mesh.Shape{64, 64, 64}, guest.Torus)},
+		{"cylinder64x64x64", benchFamily(mesh.Shape{64, 64, 64}, guest.Cylinder)},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

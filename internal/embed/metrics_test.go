@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -36,14 +37,20 @@ func referenceMeasure(e *Embedding) Metrics {
 			loads[cube.LinkIndex(l, e.N)]++
 		}
 	}
-	if e.Wrap {
+	switch e.Family {
+	case guest.Torus:
 		e.Guest.EachTorusEdge(visit)
-	} else {
+	case guest.Cylinder:
+		e.Guest.EachCylinderEdge(visit)
+	case guest.Tree:
+		e.Guest.EachTreeEdge(visit)
+	default:
 		e.Guest.EachEdge(visit)
 	}
 	m := Metrics{
 		Guest:     e.Guest.String(),
-		Wrap:      e.Wrap,
+		Family:    e.Family.String(),
+		Wrap:      e.Family == guest.Torus,
 		CubeDim:   e.N,
 		Expansion: e.Expansion(),
 		Minimal:   e.Minimal(),
@@ -86,14 +93,18 @@ func metricsTestEmbeddings() map[string]*Embedding {
 		"pinned":       benchPinned(),
 	}
 	torus := Gray(mesh.Shape{6, 10})
-	torus.Wrap = true
+	torus.Family = guest.Torus
 	out["torus-6x10"] = torus
 	ring := GrayRing(8)
 	out["ring-8"] = ring
 	scrambledTorus := Gray(mesh.Shape{5, 7})
-	scrambledTorus.Wrap = true
+	scrambledTorus.Family = guest.Torus
 	scrambledTorus.RealizeMinCongestion()
 	out["torus-5x7-pinned"] = scrambledTorus
+	cyl := Gray(mesh.Shape{3, 4, 8})
+	cyl.Family = guest.Cylinder
+	out["cylinder-3x4x8"] = cyl
+	out["tree-31"] = TreeInorder(mesh.Shape{31})
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -16,6 +17,8 @@ import (
 //	repro-embedding v1
 //	guest 5x6x7
 //	wrap false
+//	family cylinder      (only for families beyond mesh/torus; the torus
+//	                      keeps its historical "wrap true" spelling)
 //	cube 8
 //	map
 //	2 3 0 1 …            (host addresses in dense guest-index order,
@@ -39,18 +42,46 @@ const SchemaVersion = 1
 type Serial struct {
 	Version int      `json:"version"`
 	Guest   string   `json:"guest"`
+	Family  string   `json:"family,omitempty"` // guest family; empty means mesh (or torus when wrap is set)
 	Wrap    bool     `json:"wrap,omitempty"`
 	Cube    int      `json:"cube"`
 	Map     []uint64 `json:"map"`
 }
 
-// Serial returns the structured form of the embedding.
+// Serial returns the structured form of the embedding.  Mesh embeddings
+// omit both family and wrap (keeping the pre-family schema byte-identical);
+// the torus keeps its historical wrap marker alongside the family name.
 func (e *Embedding) Serial() *Serial {
 	m := make([]uint64, len(e.Map))
 	for i, h := range e.Map {
 		m[i] = uint64(h)
 	}
-	return &Serial{Version: SchemaVersion, Guest: e.Guest.String(), Wrap: e.Wrap, Cube: e.N, Map: m}
+	fam := ""
+	if e.Family != guest.Mesh {
+		fam = e.Family.String()
+	}
+	return &Serial{Version: SchemaVersion, Guest: e.Guest.String(), Family: fam,
+		Wrap: e.Family == guest.Torus, Cube: e.N, Map: m}
+}
+
+// resolveFamily reconciles the family and legacy wrap fields of a
+// serialized embedding: an explicit family name wins (and must agree with
+// wrap), a bare wrap marker means torus, neither means mesh.
+func resolveFamily(name string, wrap bool) (guest.Family, error) {
+	if name == "" {
+		if wrap {
+			return guest.Torus, nil
+		}
+		return guest.Mesh, nil
+	}
+	f, err := guest.ParseFamily(name)
+	if err != nil {
+		return 0, fmt.Errorf("embed: %v", err)
+	}
+	if wrap && f != guest.Torus {
+		return 0, fmt.Errorf("embed: family %q contradicts wrap marker", name)
+	}
+	return f, nil
 }
 
 // FromSerial rebuilds an embedding from its structured form and validates
@@ -60,12 +91,16 @@ func FromSerial(s *Serial) (*Embedding, error) {
 	if s.Version != SchemaVersion {
 		return nil, fmt.Errorf("embed: unsupported schema version %d (have %d)", s.Version, SchemaVersion)
 	}
-	guest, err := mesh.ParseShape(s.Guest)
+	gs, err := mesh.ParseShape(s.Guest)
 	if err != nil {
 		return nil, err
 	}
-	e := New(guest, s.Cube)
-	e.Wrap = s.Wrap
+	fam, err := resolveFamily(s.Family, s.Wrap)
+	if err != nil {
+		return nil, err
+	}
+	e := New(gs, s.Cube)
+	e.Family = fam
 	if len(s.Map) != len(e.Map) {
 		return nil, fmt.Errorf("embed: map covers %d of %d guest nodes", len(s.Map), len(e.Map))
 	}
@@ -84,7 +119,10 @@ func (e *Embedding) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", formatHeader)
 	fmt.Fprintf(&b, "guest %s\n", e.Guest)
-	fmt.Fprintf(&b, "wrap %v\n", e.Wrap)
+	fmt.Fprintf(&b, "wrap %v\n", e.Family == guest.Torus)
+	if e.Family != guest.Mesh && e.Family != guest.Torus {
+		fmt.Fprintf(&b, "family %s\n", e.Family)
+	}
 	fmt.Fprintf(&b, "cube %d\n", e.N)
 	b.WriteString("map\n")
 	for i, h := range e.Map {
@@ -128,8 +166,9 @@ func Read(r io.Reader) (*Embedding, error) {
 	if h != formatHeader {
 		return nil, fmt.Errorf("embed: bad header %q", h)
 	}
-	var guest mesh.Shape
+	var gs mesh.Shape
 	var wrap bool
+	var famName string
 	var n = -1
 	for {
 		l, err := line()
@@ -142,7 +181,7 @@ func Read(r io.Reader) (*Embedding, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("embed: bad guest line %q", l)
 			}
-			guest, err = mesh.ParseShape(fields[1])
+			gs, err = mesh.ParseShape(fields[1])
 			if err != nil {
 				return nil, err
 			}
@@ -154,6 +193,11 @@ func Read(r io.Reader) (*Embedding, error) {
 			if err != nil {
 				return nil, err
 			}
+		case "family":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("embed: bad family line %q", l)
+			}
+			famName = fields[1]
 		case "cube":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("embed: bad cube line %q", l)
@@ -163,11 +207,15 @@ func Read(r io.Reader) (*Embedding, error) {
 				return nil, err
 			}
 		case "map":
-			if guest == nil || n < 0 {
+			if gs == nil || n < 0 {
 				return nil, fmt.Errorf("embed: map before guest/cube")
 			}
-			e := New(guest, n)
-			e.Wrap = wrap
+			fam, err := resolveFamily(famName, wrap)
+			if err != nil {
+				return nil, err
+			}
+			e := New(gs, n)
+			e.Family = fam
 			count := 0
 			for count < len(e.Map) {
 				l, err := line()

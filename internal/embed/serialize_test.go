@@ -7,13 +7,16 @@ import (
 	"testing/quick"
 
 	"repro/internal/cube"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
 func TestSerializeRoundTrip(t *testing.T) {
 	for _, s := range []mesh.Shape{{3, 5}, {5, 6, 7}, {1}, {17}} {
 		e := Gray(s)
-		e.Wrap = s.Dims() == 1
+		if s.Dims() == 1 {
+			e.Family = guest.Torus
+		}
 		var b strings.Builder
 		if _, err := e.WriteTo(&b); err != nil {
 			t.Fatal(err)
@@ -22,7 +25,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		if !got.Guest.Equal(e.Guest) || got.N != e.N || got.Wrap != e.Wrap {
+		if !got.Guest.Equal(e.Guest) || got.N != e.N || got.Family != e.Family {
 			t.Fatalf("%v: header mismatch", s)
 		}
 		for i := range e.Map {
@@ -37,7 +40,9 @@ func TestSerializeRoundTripRandom(t *testing.T) {
 	f := func(a, b uint8, wrap bool) bool {
 		s := mesh.Shape{int(a%7) + 1, int(b%7) + 1}
 		e := Gray(s)
-		e.Wrap = wrap
+		if wrap {
+			e.Family = guest.Torus
+		}
 		var sb strings.Builder
 		if _, err := e.WriteTo(&sb); err != nil {
 			return false
@@ -46,7 +51,7 @@ func TestSerializeRoundTripRandom(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.Guest.Equal(e.Guest) && got.Wrap == wrap && got.Measure() == e.Measure()
+		return got.Guest.Equal(e.Guest) && got.Family == e.Family && got.Measure() == e.Measure()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -82,10 +87,10 @@ func manyToOne(s mesh.Shape) *Embedding {
 func TestSerializeRoundTripTorus(t *testing.T) {
 	for _, s := range []mesh.Shape{{6, 10}, {4, 4, 4}} {
 		e := Gray(s)
-		e.Wrap = true
+		e.Family = guest.Torus
 		got := roundTrip(t, e)
-		if !got.Wrap {
-			t.Fatalf("%v: wrap flag lost", s)
+		if got.Family != guest.Torus {
+			t.Fatalf("%v: torus family lost", s)
 		}
 		if got.Measure() != e.Measure() {
 			t.Fatalf("%v: metrics changed: %v vs %v", s, got.Measure(), e.Measure())
@@ -106,10 +111,12 @@ func TestSerializeRoundTripManyToOne(t *testing.T) {
 
 func TestSerialRoundTrip(t *testing.T) {
 	cases := []*Embedding{Gray(mesh.Shape{5, 6, 7}), manyToOne(mesh.Shape{9, 9})}
-	cases[0].Wrap = false
 	torus := Gray(mesh.Shape{8, 4})
-	torus.Wrap = true
+	torus.Family = guest.Torus
 	cases = append(cases, torus)
+	cyl := Gray(mesh.Shape{3, 4})
+	cyl.Family = guest.Cylinder
+	cases = append(cases, cyl, TreeInorder(mesh.Shape{15}))
 	for _, e := range cases {
 		s := e.Serial()
 		if s.Version != SchemaVersion {
@@ -127,7 +134,7 @@ func TestSerialRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !got.Guest.Equal(e.Guest) || got.Wrap != e.Wrap || got.N != e.N {
+		if !got.Guest.Equal(e.Guest) || got.Family != e.Family || got.N != e.N {
 			t.Fatalf("%s: header mismatch", e.Guest)
 		}
 		if got.Measure() != e.Measure() {

@@ -1,0 +1,34 @@
+package embed
+
+import (
+	mathbits "math/bits"
+
+	"repro/internal/cube"
+	"repro/internal/guest"
+	"repro/internal/mesh"
+)
+
+// TreeInorder embeds the complete binary tree on 2^h − 1 nodes (heap order,
+// family tree) into its minimal h-cube by the classic inorder labeling: the
+// heap node at depth d and left-to-right position p — a subtree root of
+// height j = h−1−d — gets the cube address p·2^(j+1) + 2^j − 1, its inorder
+// number.  A node's left child differs from it in exactly bit j−1 (Hamming
+// distance 1) and its right child in bits j and j−1 (distance 2), so the
+// dilation is 2 — and the embedding is always minimal, since 2^h − 1 nodes
+// need an h-cube.
+func TreeInorder(s mesh.Shape) *Embedding {
+	if err := guest.Validate(guest.Tree, s); err != nil {
+		panic(err)
+	}
+	n := s[0]
+	h := mathbits.Len64(uint64(n)) // n = 2^h − 1
+	e := New(s, s.MinCubeDim())
+	e.Family = guest.Tree
+	for i := 0; i < n; i++ {
+		d := mathbits.Len64(uint64(i+1)) - 1 // heap depth of node i
+		p := i + 1 - 1<<uint(d)              // position within its level
+		j := uint(h - 1 - d)                 // subtree height
+		e.Map[i] = cube.Node(uint64(p)<<(j+1) | 1<<j - 1)
+	}
+	return e
+}

@@ -1,0 +1,107 @@
+// Package host abstracts the host graph of an embedding: addressing,
+// neighbor enumeration, deterministic shortest-path routing with dense link
+// indexing, and address canonicalization.  The Boolean cube is the first
+// (and the paper's only) implementation; the interface is the seam a future
+// host family (cube-connected cycles, de Bruijn hosts) plugs into without
+// touching the guest registry or the metrics definitions.
+//
+// The specialized hot paths — the fused metrics engine, the routing done
+// during congestion realization — stay monomorphic on internal/cube for
+// speed.  The interface earns its keep as the reference semantics: the
+// generic measurement path (embed.MeasureOnHost) must agree with the fused
+// engine on every registered guest family, which the conformance suite
+// asserts.
+package host
+
+import "repro/internal/cube"
+
+// Node is a host node address.  All hosts address their nodes as integers
+// in 0..Nodes(n)-1; the alias keeps embeddings' maps usable without
+// conversion.
+type Node = cube.Node
+
+// Host is a family of host graphs indexed by a size parameter n (the cube
+// dimension for the Boolean cube).  Implementations must be stateless and
+// safe for concurrent use.
+type Host interface {
+	// Name identifies the host family ("boolean-cube").
+	Name() string
+	// Nodes returns the number of nodes of the size-n host.
+	Nodes(n int) int
+	// MinSize returns the smallest n whose host holds guestNodes nodes.
+	MinSize(guestNodes int) int
+	// Dist returns the shortest-path distance between two nodes.
+	Dist(u, v Node, n int) int
+	// Neighbors enumerates the nodes adjacent to u in ascending order.
+	Neighbors(u Node, n int, fn func(Node))
+	// Route returns one deterministic shortest path from u to v, both
+	// endpoints included.  Every implementation must route u→u as {u}.
+	Route(u, v Node, n int) []Node
+	// NumLinks returns the number of undirected links, the length of a
+	// dense congestion-load table.
+	NumLinks(n int) int
+	// LinkIndex maps the link between two adjacent nodes to its dense
+	// index in 0..NumLinks(n)-1.
+	LinkIndex(u, v Node, n int) int
+	// Canonicalize translates a node map by a host automorphism into a
+	// canonical position (for the cube: the image of guest node 0 becomes
+	// address 0).  Distances, link loads and therefore all metrics are
+	// unchanged.
+	Canonicalize(m []Node, n int) []Node
+}
+
+// BooleanCube is the n-dimensional Boolean cube host: 2^n nodes, adjacency
+// = Hamming distance one, e-cube routing.
+type BooleanCube struct{}
+
+// Name implements Host.
+func (BooleanCube) Name() string { return "boolean-cube" }
+
+// Nodes implements Host.
+func (BooleanCube) Nodes(n int) int { return 1 << uint(n) }
+
+// MinSize implements Host: ⌈log₂ guestNodes⌉.
+func (BooleanCube) MinSize(guestNodes int) int {
+	n := 0
+	for (1 << uint(n)) < guestNodes {
+		n++
+	}
+	return n
+}
+
+// Dist implements Host (Hamming distance).
+func (BooleanCube) Dist(u, v Node, n int) int { return cube.Dist(u, v) }
+
+// Neighbors implements Host: flips each of the n bits in ascending order.
+func (BooleanCube) Neighbors(u Node, n int, fn func(Node)) {
+	for _, w := range cube.Neighbors(u, n) {
+		fn(w)
+	}
+}
+
+// Route implements Host with the deterministic e-cube route (correct bits
+// lowest dimension first), the same order cube.Route produces.
+func (BooleanCube) Route(u, v Node, n int) []Node { return cube.Route(u, v) }
+
+// NumLinks implements Host: n·2^(n−1) undirected cube edges.
+func (BooleanCube) NumLinks(n int) int { return cube.NumLinks(n) }
+
+// LinkIndex implements Host via the dense cube link indexing.
+func (BooleanCube) LinkIndex(u, v Node, n int) int {
+	return cube.LinkIndex(cube.LinkBetween(u, v), n)
+}
+
+// Canonicalize implements Host: XOR-translating every address by the image
+// of node 0 is a cube automorphism, so the canonical form maps node 0 to
+// address 0.
+func (BooleanCube) Canonicalize(m []Node, n int) []Node {
+	if len(m) == 0 {
+		return nil
+	}
+	base := m[0]
+	out := make([]Node, len(m))
+	for i, a := range m {
+		out[i] = a ^ base
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/pkg/api"
+)
+
+// TestPlanSweepFamilies runs the plansweep job kind over each non-mesh
+// family and checks the result stream against a direct in-process sweep:
+// same shapes in the same order, every row stamped with the family, and
+// plan/dilation values matching the planner.
+func TestPlanSweepFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		family   string
+		dims     int
+		maxAxis  int
+		maxNodes int
+	}{
+		{"torus", 2, 6, 36},
+		{"cylinder", 2, 6, 36},
+		{"tree", 1, 63, 63},
+	} {
+		t.Run(tc.family, func(t *testing.T) {
+			req := api.JobSubmitRequest{
+				Kind: api.JobPlanSweep,
+				PlanSweep: &api.PlanSweepParams{
+					Family: tc.family, Dims: tc.dims,
+					MaxAxis: tc.maxAxis, MaxNodes: tc.maxNodes,
+				},
+			}
+			_, raw := runToCompletion(t, req)
+
+			fam, err := guest.ParseFamily(tc.family)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.FamilyShapes(fam, tc.dims, tc.maxAxis, tc.maxNodes)
+			planner := core.NewPlanner(core.DefaultOptions)
+
+			rows := 0
+			sc := bufio.NewScanner(bytes.NewReader(raw))
+			for sc.Scan() {
+				var head struct {
+					Type string `json:"type"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+					t.Fatal(err)
+				}
+				if head.Type != api.RecordPlan {
+					continue
+				}
+				var rec api.PlanRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Fatal(err)
+				}
+				if rows >= len(want) {
+					t.Fatalf("more rows than the %d enumerated shapes", len(want))
+				}
+				s := want[rows]
+				if rec.Family != tc.family {
+					t.Fatalf("row %d family = %q, want %q", rows, rec.Family, tc.family)
+				}
+				if rec.Shape != s.String() {
+					t.Fatalf("row %d shape = %q, want %q", rows, rec.Shape, s)
+				}
+				p := planner.PlanGuest(fam, s)
+				if rec.Plan != p.String() || rec.CubeDim != p.CubeDim || rec.Method != p.Method {
+					t.Fatalf("row %d = %+v, planner says %s cube %d method %d",
+						rows, rec, p, p.CubeDim, p.Method)
+				}
+				rows++
+			}
+			if rows != len(want) {
+				t.Fatalf("stream has %d plan rows, enumeration has %d", rows, len(want))
+			}
+		})
+	}
+}
+
+// TestPlanSweepRejectsBadFamily: an unknown family name fails at submit.
+func TestPlanSweepRejectsBadFamily(t *testing.T) {
+	m, err := Open(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+	_, err = m.Submit(api.JobSubmitRequest{
+		Kind: api.JobPlanSweep,
+		PlanSweep: &api.PlanSweepParams{
+			Family: "klein-bottle", Dims: 2, MaxAxis: 4, MaxNodes: 16,
+		},
+	})
+	if err == nil {
+		t.Fatal("submit accepted an unknown family")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -85,8 +86,13 @@ func buildRunner(req *api.JobSubmitRequest, workers int, planner *core.Planner) 
 		if p.MaxNodes < 1 || p.MaxNodes > maxSweepNodes {
 			return nil, fmt.Errorf("%w: plansweep max_nodes must be 1..%d, got %d", ErrBadRequest, maxSweepNodes, p.MaxNodes)
 		}
+		fam, err := guest.ByName(p.Family)
+		if err != nil {
+			return nil, fmt.Errorf("%w: plansweep %v", ErrBadRequest, err)
+		}
 		return &plansweepRunner{
 			params:  *p,
+			family:  fam.Family,
 			workers: workers,
 			planner: planner,
 			hist:    map[string]uint64{},
@@ -205,12 +211,13 @@ func (r *epsilonRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 func (r *epsilonRunner) snapshot() (json.RawMessage, error) { return nil, nil }
 func (r *epsilonRunner) restore(json.RawMessage) error      { return nil }
 
-// plansweepRunner plans every sorted shape in range, one chunk per first
-// axis (core.SortedShapesFrom), one record per shape in enumeration order.
-// The aggregate is the dilation histogram and minimal-cube count of the
-// summary line.
+// plansweepRunner plans every canonical guest shape of the family in range,
+// one chunk per first axis (core.FamilyShapesFrom), one record per shape in
+// enumeration order.  The aggregate is the dilation histogram and
+// minimal-cube count of the summary line.
 type plansweepRunner struct {
 	params  api.PlanSweepParams
+	family  guest.Family
 	workers int
 	planner *core.Planner
 	hist    map[string]uint64
@@ -221,7 +228,7 @@ func (r *plansweepRunner) chunks() int { return r.params.MaxAxis }
 
 func (r *plansweepRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error) {
 	p := r.params
-	shapes := core.SortedShapesFrom(chunk+1, p.Dims, p.MaxAxis, p.MaxNodes)
+	shapes := core.FamilyShapesFrom(r.family, chunk+1, p.Dims, p.MaxAxis, p.MaxNodes)
 	if len(shapes) == 0 {
 		return 0, nil
 	}
@@ -251,17 +258,21 @@ func (r *plansweepRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Bu
 }
 
 func (r *plansweepRunner) planRecord(s mesh.Shape) api.PlanRecord {
-	p := r.planner.Plan(s)
+	p := r.planner.PlanGuest(r.family, s)
 	dil := p.Dilation
 	if dil == core.DilationUnknown {
 		dil = -1
 	}
+	fam := ""
+	if r.family != guest.Mesh {
+		fam = r.family.String()
+	}
 	rec := api.PlanRecord{
-		Type: api.RecordPlan, Shape: s.String(), Nodes: s.Nodes(),
+		Type: api.RecordPlan, Shape: s.String(), Family: fam, Nodes: s.Nodes(),
 		CubeDim: p.CubeDim, Plan: p.String(), Method: p.Method,
 		DilationBound: dil, Minimal: p.Minimal(),
 	}
-	if len(s) == 3 {
+	if r.family == guest.Mesh && len(s) == 3 {
 		rec.BestMethod = stats.BestMethod(s[0], s[1], s[2])
 		e := stats.RelExpansion(s[0], s[1], s[2])
 		rec.RelExpansion = e[:]

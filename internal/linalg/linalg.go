@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/simnet"
 )
 
@@ -88,7 +89,7 @@ type CannonStats struct {
 // Every shift is one message per process along a torus edge; the simulator
 // prices each round against the embedding.
 func Cannon(a, b *Matrix, e *embed.Embedding) (*Matrix, CannonStats) {
-	if !e.Wrap || e.Guest.Dims() != 2 || e.Guest[0] != e.Guest[1] {
+	if e.Family != guest.Torus || e.Guest.Dims() != 2 || e.Guest[0] != e.Guest[1] {
 		panic("linalg: Cannon needs a square torus embedding")
 	}
 	p := e.Guest[0]

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 	"repro/internal/wrap"
 )
@@ -37,7 +38,7 @@ func TestSerialMul(t *testing.T) {
 func TestCannonCorrectOnGrayTorus(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	e := embed.Gray(mesh.Shape{4, 4})
-	e.Wrap = true
+	e.Family = guest.Torus
 	a := randomMatrix(r, 8, 8)
 	b := randomMatrix(r, 8, 8)
 	got, stats := Cannon(a, b, e)

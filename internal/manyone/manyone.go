@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -33,8 +34,8 @@ func AllToOne(s mesh.Shape) *embed.Embedding {
 // is unchanged, and the congestion of axis-i host links multiplies by at
 // most Πⱼ≠ᵢ factors[j].
 func Contract(e *embed.Embedding, factors mesh.Shape) *embed.Embedding {
-	if e.Wrap {
-		panic("manyone: Contract requires a non-wraparound embedding")
+	if e.Family != guest.Mesh {
+		panic("manyone: Contract requires a plain mesh embedding")
 	}
 	inner := AllToOne(factors)
 	return core.Product(inner, e)
@@ -67,7 +68,7 @@ func FoldCube(e *embed.Embedding, n int) *embed.Embedding {
 		panic(fmt.Sprintf("manyone: cannot fold %d-cube to %d", e.N, n))
 	}
 	out := embed.New(e.Guest, n)
-	out.Wrap = e.Wrap
+	out.Family = e.Family
 	mask := cube.Node(1)<<uint(n) - 1
 	for i, h := range e.Map {
 		out.Map[i] = h & mask

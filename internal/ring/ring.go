@@ -1,0 +1,199 @@
+// Package ring holds the strip layouts behind the wraparound constructions
+// of Section 6: the halving layout of Lemma 3 (a ring of length ℓ in a
+// 2×⌈ℓ/2⌉ strip whose two rows are one cube dimension apart) and the
+// quartering layout of Lemma 4 (a 4×⌈ℓ/4⌉ strip whose four rows carry a
+// cyclic Gray code on two cube dimensions).  Assemble combines per-axis
+// layouts with a base embedding of the strip-column mesh into the final
+// embedding, concatenating each axis's row bits above the base address.
+//
+// The package is a leaf (it depends only on the embedding and mesh types),
+// so both the torus planner in internal/core and the historical
+// constructors in internal/wrap build on the same layout code without an
+// import cycle.
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/embed"
+	"repro/internal/mesh"
+)
+
+// gray4 is the cyclic Gray code on 2 bits: consecutive rows (mod 4) are one
+// cube dimension apart, and rows two apart differ in both bits.
+var gray4 = [4]uint64{0b00, 0b01, 0b11, 0b10}
+
+// Layout places the ring 0..l-1 into a strip of 2^Bits rows: position w of
+// the ring maps to row code Codes[w] (already Gray-encoded) and strip
+// column Cols[w].  Bits is the number of cube dimensions the row code
+// occupies (0 for the identity layout of a non-wrapped axis).
+type Layout struct {
+	Codes []uint64
+	Cols  []int
+	Bits  int
+}
+
+// Identity is the layout of an axis that does not wrap: every position maps
+// to its own column in row zero and contributes no row bits.
+func Identity(l int) Layout {
+	lay := Layout{Codes: make([]uint64, l), Cols: make([]int, l)}
+	for w := 0; w < l; w++ {
+		lay.Cols[w] = w
+	}
+	return lay
+}
+
+// Half lays the ring of length l into a 2×⌈l/2⌉ strip (Lemma 3): down one
+// row and back along the other.  For odd l the strip slot (1,0) stays
+// unused; the wrap edge (l−1, 0) becomes the "logical edge" through it with
+// dilation ≤ d+1.
+func Half(l int) Layout {
+	m := (l + 1) / 2
+	lay := Layout{Codes: make([]uint64, l), Cols: make([]int, l), Bits: 1}
+	for w := 0; w < l; w++ {
+		if w < m {
+			lay.Codes[w], lay.Cols[w] = 0, w
+		} else {
+			lay.Codes[w], lay.Cols[w] = 1, 2*m-1-w
+		}
+	}
+	return lay
+}
+
+// Quarter lays the ring of length l into a 4×⌈l/4⌉ strip (Lemma 4).  The
+// four rows carry the cyclic Gray code gray4, so row steps of one cost one
+// cube dimension and row jumps of two cost two; every ring edge then has
+// dilation ≤ max(d, 2) where d is the dilation of the column embedding.
+func Quarter(l int) Layout {
+	m := (l + 3) / 4
+	lay := Layout{Codes: make([]uint64, 0, l), Cols: make([]int, 0, l), Bits: 2}
+	add := func(row, col int) {
+		lay.Codes = append(lay.Codes, gray4[row])
+		lay.Cols = append(lay.Cols, col)
+	}
+	if m == 1 {
+		// Rings of length ≤ 4 live on the Gray 4-ring itself; for l = 3
+		// the wrap edge jumps two rows (distance 2).
+		for w := 0; w < l; w++ {
+			add(w, 0)
+		}
+		return lay
+	}
+	r := 4*m - l // surplus strip slots: 0..3
+	if r == 3 && m == 2 {
+		// l = 5: (0,0) (0,1) (1,1) (2,1) (2,0), closing with a row jump.
+		add(0, 0)
+		add(0, 1)
+		add(1, 1)
+		add(2, 1)
+		add(2, 0)
+		return lay
+	}
+	// General pattern: row 0 rightward, row 1 leftward down to column c1,
+	// row 2 rightward from column c1, row 3 leftward, and for odd surplus
+	// an extra stop at (2,0) before the closing row jump (2,0)→(0,0).
+	switch r {
+	case 0:
+		// Full boustrophedon; closure (3,0)→(0,0) is one row step.
+		for c := 0; c < m; c++ {
+			add(0, c)
+		}
+		for c := m - 1; c >= 0; c-- {
+			add(1, c)
+		}
+		for c := 0; c < m; c++ {
+			add(2, c)
+		}
+		for c := m - 1; c >= 0; c-- {
+			add(3, c)
+		}
+	case 2:
+		// Skip (1,0) and (2,0); closure (3,0)→(0,0).
+		for c := 0; c < m; c++ {
+			add(0, c)
+		}
+		for c := m - 1; c >= 1; c-- {
+			add(1, c)
+		}
+		for c := 1; c < m; c++ {
+			add(2, c)
+		}
+		for c := m - 1; c >= 0; c-- {
+			add(3, c)
+		}
+	case 1:
+		// Skip (1,0); detour through (2,0) and close with a row jump of
+		// two, (2,0)→(0,0).
+		for c := 0; c < m; c++ {
+			add(0, c)
+		}
+		for c := m - 1; c >= 1; c-- {
+			add(1, c)
+		}
+		for c := 1; c < m; c++ {
+			add(2, c)
+		}
+		for c := m - 1; c >= 0; c-- {
+			add(3, c)
+		}
+		add(2, 0)
+	case 3:
+		// Skip (1,0), (1,1) and (2,1); needs m ≥ 3 (m = 2 handled above).
+		for c := 0; c < m; c++ {
+			add(0, c)
+		}
+		for c := m - 1; c >= 2; c-- {
+			add(1, c)
+		}
+		for c := 2; c < m; c++ {
+			add(2, c)
+		}
+		for c := m - 1; c >= 0; c-- {
+			add(3, c)
+		}
+		add(2, 0)
+	}
+	return lay
+}
+
+// ForDiv returns the ring layout for the given strip divisor: Half for 2,
+// Quarter for 4.
+func ForDiv(div, l int) Layout {
+	switch div {
+	case 2:
+		return Half(l)
+	case 4:
+		return Quarter(l)
+	}
+	panic(fmt.Sprintf("ring: unsupported divisor %d", div))
+}
+
+// Assemble builds the wraparound embedding from per-axis layouts and a base
+// embedding of the strip-column mesh: host address = axis row codes (axis 0
+// lowest, each axis contributing its layout's Bits) concatenated above
+// base.Map[cols].  The family of the result is left to the caller.
+func Assemble(base *embed.Embedding, shape mesh.Shape, lays []Layout) *embed.Embedding {
+	k := shape.Dims()
+	total := 0
+	for _, lay := range lays {
+		total += lay.Bits
+	}
+	e := embed.New(shape, base.N+total)
+	coord := make([]int, k)
+	colCoord := make([]int, k)
+	for idx := range e.Map {
+		shape.CoordInto(idx, coord)
+		var rowBits uint64
+		shift := 0
+		for i := 0; i < k; i++ {
+			w := coord[i]
+			rowBits |= lays[i].Codes[w] << uint(shift)
+			shift += lays[i].Bits
+			colCoord[i] = lays[i].Cols[w]
+		}
+		inner := base.Map[base.Guest.Index(colCoord)]
+		e.Map[idx] = cube.Node(rowBits<<uint(base.N) | uint64(inner))
+	}
+	return e
+}

@@ -45,12 +45,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/jobs"
 	"repro/internal/mesh"
 	"repro/internal/obs"
 	"repro/internal/reshape"
 	"repro/internal/simnet"
-	"repro/internal/wrap"
 	"repro/pkg/api"
 )
 
@@ -311,6 +311,35 @@ func (s *Server) parseShapeField(shape string, maxNodes int) (mesh.Shape, error)
 	return sh, nil
 }
 
+// parseFamilyField resolves a request's guest family ("" means mesh); an
+// unregistered name is a 400.
+func parseFamilyField(name string) (guest.Family, error) {
+	d, err := guest.ByName(name)
+	if err != nil {
+		return guest.Mesh, errBadRequest("%v", err)
+	}
+	return d.Family, nil
+}
+
+// famEcho is the response echo of a guest family: empty for mesh, so
+// pre-family responses stay byte-identical.
+func famEcho(f guest.Family) string {
+	if f == guest.Mesh {
+		return ""
+	}
+	return f.String()
+}
+
+// famKey is the family's cache-key segment: empty for mesh (pre-family keys
+// unchanged), "<family>|" otherwise — a 4x4x4 torus request must never hit
+// the 4x4x4 mesh entry.
+func famKey(f guest.Family) string {
+	if f == guest.Mesh {
+		return ""
+	}
+	return f.String() + "|"
+}
+
 // cachedResult is one fully-measured LRU entry, always in canonical axis
 // order.  Entries are immutable after insertion.
 type cachedResult struct {
@@ -383,6 +412,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, r, err)
 		return
 	}
+	fam, err := parseFamilyField(req.Family)
+	if err != nil {
+		respondErr(w, r, err)
+		return
+	}
 	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
 	if err != nil {
 		respondErr(w, r, err)
@@ -393,10 +427,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Plans are served in the caller's axis order — the planner's own
 	// canonical-shape cache already de-duplicates the search across
 	// permutations, so the LRU key stays exact here.
-	key := "plan|" + sh.String()
+	key := "plan|" + famKey(fam) + sh.String()
 	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
 		_, span := obs.Start(ctx, "plan")
-		p, err := s.planner.TryPlan(sh)
+		p, err := s.planner.TryPlanGuest(fam, sh)
 		span.End()
 		if err != nil {
 			return nil, errBadRequest("%v", err)
@@ -411,6 +445,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	resp := PlanResponse{
 		Version:       APIVersion,
 		Shape:         sh.String(),
+		Family:        famEcho(fam),
 		Nodes:         sh.Nodes(),
 		CubeDim:       res.cubeDim,
 		Plan:          res.plan,
@@ -442,11 +477,27 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, r, err)
 		return
 	}
+	fam, err := parseFamilyField(req.Family)
+	if err != nil {
+		respondErr(w, r, err)
+		return
+	}
 	mode := req.Mode
 	switch mode {
 	case "", "decomposition":
 		mode = "decomposition"
-	case "gray", "torus":
+	case "gray":
+		if fam != guest.Mesh {
+			respondErr(w, r, errBadRequest("mode gray applies to the mesh family only (got %q)", req.Family))
+			return
+		}
+	case "torus":
+		// The historical spelling of family "torus"; the two must agree.
+		if req.Family != "" && fam != guest.Torus {
+			respondErr(w, r, errBadRequest("mode torus conflicts with family %q", req.Family))
+			return
+		}
+		fam = guest.Torus
 	default:
 		respondErr(w, r, errBadRequest("unknown mode %q (want decomposition, gray or torus)", req.Mode))
 		return
@@ -456,12 +507,23 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, r, err)
 		return
 	}
+	if err := guest.Validate(fam, sh); err != nil {
+		respondErr(w, r, errBadRequest("%v", err))
+		return
+	}
 	meta := metaFrom(r.Context())
 	meta.setShape(sh, mode)
-	canon, _ := core.CanonicalShape(sh)
-	key := "embed|" + mode + "|" + canon.String()
+	canon, _ := guest.Get(fam).Canonical(sh)
+	// Mode "torus" is the historical spelling of family torus and computes
+	// exactly what family=torus computes, so both spellings share one cache
+	// entry; the echoed Mode still reflects the request.
+	keyMode := mode
+	if mode == "torus" {
+		keyMode = "decomposition"
+	}
+	key := "embed|" + famKey(fam) + keyMode + "|" + canon.String()
 	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
-		return s.computeEmbed(ctx, canon, mode)
+		return s.computeEmbed(ctx, fam, canon, mode)
 	})
 	if err != nil {
 		respondErr(w, r, err)
@@ -471,6 +533,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	resp := EmbedResponse{
 		Version:       APIVersion,
 		Shape:         sh.String(),
+		Family:        famEcho(fam),
 		Mode:          mode,
 		Plan:          res.plan,
 		Method:        res.method,
@@ -497,8 +560,8 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// computeEmbed builds and measures the canonical shape under one mode.
-func (s *Server) computeEmbed(ctx context.Context, canon mesh.Shape, mode string) (*cachedResult, error) {
+// computeEmbed builds and measures the canonical guest under one mode.
+func (s *Server) computeEmbed(ctx context.Context, fam guest.Family, canon mesh.Shape, mode string) (*cachedResult, error) {
 	var res *cachedResult
 	var e *embed.Embedding
 	switch mode {
@@ -507,14 +570,9 @@ func (s *Server) computeEmbed(ctx context.Context, canon mesh.Shape, mode string
 		e = embed.Gray(canon)
 		span.End()
 		res = &cachedResult{cubeDim: e.N, dilBound: 1}
-	case "torus":
-		_, span := obs.Start(ctx, "build")
-		e = wrap.Embed(canon, s.cfg.Opts)
-		span.End()
-		res = &cachedResult{cubeDim: e.N, dilBound: -1}
 	default:
 		_, pspan := obs.Start(ctx, "plan")
-		p, err := s.planner.TryPlan(canon)
+		p, err := s.planner.TryPlanGuest(fam, canon)
 		pspan.End()
 		if err != nil {
 			return nil, errBadRequest("%v", err)
@@ -538,9 +596,11 @@ func (s *Server) computeEmbed(ctx context.Context, canon mesh.Shape, mode string
 
 // relabelMap permutes the canonical-order node map into the requested axis
 // order (a pure guest relabeling — images, and therefore all metrics, are
-// unchanged).
+// unchanged).  The axis map comes from the embedding's own family, whose
+// canonical form may keep some axes in place (the cylinder's wrapped last
+// axis, every tree axis).
 func relabelMap(e *embed.Embedding, want mesh.Shape) []uint64 {
-	_, axmap := core.CanonicalShape(want)
+	_, axmap := guest.Get(e.Family).Canonical(want)
 	out := make([]uint64, len(e.Map))
 	cw := make([]int, want.Dims())
 	cc := make([]int, want.Dims())
@@ -560,17 +620,26 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, r, err)
 		return
 	}
+	fam, err := parseFamilyField(req.Family)
+	if err != nil {
+		respondErr(w, r, err)
+		return
+	}
 	sh, err := s.parseShapeField(req.Shape, min(s.cfg.MaxNodes, maxCompareNodes))
 	if err != nil {
 		respondErr(w, r, err)
 		return
 	}
+	if err := guest.Validate(fam, sh); err != nil {
+		respondErr(w, r, errBadRequest("%v", err))
+		return
+	}
 	meta := metaFrom(r.Context())
 	meta.setShape(sh, "")
-	canon, _ := core.CanonicalShape(sh)
-	key := fmt.Sprintf("compare|%s|simnet=%v", canon, req.Simnet)
+	canon, _ := guest.Get(fam).Canonical(sh)
+	key := fmt.Sprintf("compare|%s%s|simnet=%v", famKey(fam), canon, req.Simnet)
 	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
-		return s.computeCompare(ctx, canon, req.Simnet)
+		return s.computeCompare(ctx, fam, canon, req.Simnet)
 	})
 	if err != nil {
 		respondErr(w, r, err)
@@ -579,6 +648,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	meta.setSource(source)
 	resp := *res.compare
 	resp.Shape = sh.String()
+	resp.Family = famEcho(fam)
 	resp.Source = source
 	if meta != nil && meta.debug {
 		resp.Debug = &DebugInfo{
@@ -590,25 +660,30 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// computeCompare builds the canonical shape with every applicable technique
-// — Gray, snake, the decomposition planner, and (for two-dimensional
-// guests) the reshaping paths of internal/reshape — measures each, and
-// optionally simulates one stencil-exchange round per technique.
-func (s *Server) computeCompare(ctx context.Context, canon mesh.Shape, withSimnet bool) (*cachedResult, error) {
+// computeCompare builds the canonical guest with every applicable technique
+// — Gray, snake, the family planner, and (for two-dimensional plain meshes)
+// the reshaping paths of internal/reshape — measures each under the guest
+// family's edge set, and optionally simulates one stencil-exchange round per
+// technique.
+func (s *Server) computeCompare(ctx context.Context, fam guest.Family, canon mesh.Shape, withSimnet bool) (*cachedResult, error) {
 	bctx, bspan := obs.Start(ctx, "build")
+	gr := embed.Gray(canon)
+	gr.Family = fam
+	sn := core.Snake(canon)
+	sn.Family = fam
 	es := map[string]*embed.Embedding{
-		"gray":  embed.Gray(canon),
-		"snake": core.Snake(canon),
+		"gray":  gr,
+		"snake": sn,
 	}
 	_, pspan := obs.Start(bctx, "plan")
-	p, err := s.planner.TryPlan(canon)
+	p, err := s.planner.TryPlanGuest(fam, canon)
 	pspan.End()
 	if err != nil {
 		bspan.End()
 		return nil, errBadRequest("%v", err)
 	}
 	es["decomposition"] = p.Build()
-	if canon.Dims() == 2 {
+	if fam == guest.Mesh && canon.Dims() == 2 {
 		es["rowmajor"] = reshape.RowMajor(canon)
 		if f := reshape.BestFold(canon); f != nil {
 			es["fold"] = f

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 	"repro/internal/sweep"
 )
@@ -145,11 +146,7 @@ func StencilExchange(e *embed.Embedding) []Message {
 		a, b := e.Map[ed.U], e.Map[ed.V]
 		msgs = append(msgs, Message{Src: a, Dst: b}, Message{Src: b, Dst: a})
 	}
-	if e.Wrap {
-		e.Guest.EachTorusEdge(add)
-	} else {
-		e.Guest.EachEdge(add)
-	}
+	guest.Get(e.Family).EachEdgeRange(e.Guest, 0, e.Guest.Nodes(), add)
 	return msgs
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
 )
 
@@ -118,7 +119,7 @@ func TestStencilDecompositionBeatsGrayPadding(t *testing.T) {
 
 func TestStencilTorus(t *testing.T) {
 	e := embed.Gray(mesh.Shape{8})
-	e.Wrap = true
+	e.Family = guest.Torus
 	msgs := StencilExchange(e)
 	if len(msgs) != 16 { // 8 ring edges, both directions
 		t.Errorf("messages = %d, want 16", len(msgs))

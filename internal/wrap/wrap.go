@@ -6,6 +6,10 @@
 // dimensions).  Removing the surplus strip nodes for axes not divisible by
 // 2 (resp. 4) creates "logical edges" of dilation ≤ d+1 (resp. ≤ max(d,2)),
 // exactly as in the paper's Figures 3 and 5.
+//
+// The strip layouts themselves live in internal/ring and the construction
+// choice in the guest-family planner (core.PlanGuest with guest.Torus);
+// this package keeps the historical constructor API on top of both.
 package wrap
 
 import (
@@ -13,158 +17,11 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/core"
-	"repro/internal/cube"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/mesh"
+	"repro/internal/ring"
 )
-
-// gray4 is the cyclic Gray code on 2 bits: consecutive rows (mod 4) are one
-// cube dimension apart, and rows two apart differ in both bits.
-var gray4 = [4]uint64{0b00, 0b01, 0b11, 0b10}
-
-// axisLayout places the ring 0..l-1 into a rows×⌈l/rows⌉ strip: position w
-// of the ring maps to row code Codes[w] (already Gray-encoded) and strip
-// column Cols[w].
-type axisLayout struct {
-	Codes []uint64
-	Cols  []int
-}
-
-// ringHalf lays the ring of length l into a 2×⌈l/2⌉ strip (Lemma 3): down
-// one row and back along the other.  For odd l the strip slot (1,0) stays
-// unused; the wrap edge (l−1, 0) becomes the "logical edge" through it with
-// dilation ≤ d+1.
-func ringHalf(l int) axisLayout {
-	m := (l + 1) / 2
-	lay := axisLayout{Codes: make([]uint64, l), Cols: make([]int, l)}
-	for w := 0; w < l; w++ {
-		if w < m {
-			lay.Codes[w], lay.Cols[w] = 0, w
-		} else {
-			lay.Codes[w], lay.Cols[w] = 1, 2*m-1-w
-		}
-	}
-	return lay
-}
-
-// ringQuarter lays the ring of length l into a 4×⌈l/4⌉ strip (Lemma 4).
-// The four rows carry the cyclic Gray code gray4, so row steps of one cost
-// one cube dimension and row jumps of two cost two; every ring edge then
-// has dilation ≤ max(d, 2) where d is the dilation of the column embedding.
-func ringQuarter(l int) axisLayout {
-	m := (l + 3) / 4
-	lay := axisLayout{Codes: make([]uint64, 0, l), Cols: make([]int, 0, l)}
-	add := func(row, col int) {
-		lay.Codes = append(lay.Codes, gray4[row])
-		lay.Cols = append(lay.Cols, col)
-	}
-	if m == 1 {
-		// Rings of length ≤ 4 live on the Gray 4-ring itself; for l = 3
-		// the wrap edge jumps two rows (distance 2).
-		for w := 0; w < l; w++ {
-			add(w, 0)
-		}
-		return lay
-	}
-	r := 4*m - l // surplus strip slots: 0..3
-	if r == 3 && m == 2 {
-		// l = 5: (0,0) (0,1) (1,1) (2,1) (2,0), closing with a row jump.
-		add(0, 0)
-		add(0, 1)
-		add(1, 1)
-		add(2, 1)
-		add(2, 0)
-		return lay
-	}
-	// General pattern: row 0 rightward, row 1 leftward down to column c1,
-	// row 2 rightward from column c1, row 3 leftward, and for odd surplus
-	// an extra stop at (2,0) before the closing row jump (2,0)→(0,0).
-	switch r {
-	case 0:
-		// Full boustrophedon; closure (3,0)→(0,0) is one row step.
-		for c := 0; c < m; c++ {
-			add(0, c)
-		}
-		for c := m - 1; c >= 0; c-- {
-			add(1, c)
-		}
-		for c := 0; c < m; c++ {
-			add(2, c)
-		}
-		for c := m - 1; c >= 0; c-- {
-			add(3, c)
-		}
-	case 2:
-		// Skip (1,0) and (2,0); closure (3,0)→(0,0).
-		for c := 0; c < m; c++ {
-			add(0, c)
-		}
-		for c := m - 1; c >= 1; c-- {
-			add(1, c)
-		}
-		for c := 1; c < m; c++ {
-			add(2, c)
-		}
-		for c := m - 1; c >= 0; c-- {
-			add(3, c)
-		}
-	case 1:
-		// Skip (1,0); detour through (2,0) and close with a row jump of
-		// two, (2,0)→(0,0).
-		for c := 0; c < m; c++ {
-			add(0, c)
-		}
-		for c := m - 1; c >= 1; c-- {
-			add(1, c)
-		}
-		for c := 1; c < m; c++ {
-			add(2, c)
-		}
-		for c := m - 1; c >= 0; c-- {
-			add(3, c)
-		}
-		add(2, 0)
-	case 3:
-		// Skip (1,0), (1,1) and (2,1); needs m ≥ 3 (m = 2 handled above).
-		for c := 0; c < m; c++ {
-			add(0, c)
-		}
-		for c := m - 1; c >= 2; c-- {
-			add(1, c)
-		}
-		for c := 2; c < m; c++ {
-			add(2, c)
-		}
-		for c := m - 1; c >= 0; c-- {
-			add(3, c)
-		}
-		add(2, 0)
-	}
-	return lay
-}
-
-// assemble builds the torus embedding from per-axis layouts and a base
-// embedding of the strip-column mesh: host address = axis row codes
-// (bitsPerAxis bits each, axis 0 lowest) concatenated above base.Map[cols].
-func assemble(base *embed.Embedding, shape mesh.Shape, lays []axisLayout, bitsPerAxis int) *embed.Embedding {
-	k := shape.Dims()
-	e := embed.New(shape, base.N+k*bitsPerAxis)
-	e.Wrap = true
-	coord := make([]int, k)
-	colCoord := make([]int, k)
-	for idx := range e.Map {
-		shape.CoordInto(idx, coord)
-		var rowBits uint64
-		for i := 0; i < k; i++ {
-			w := coord[i]
-			rowBits |= lays[i].Codes[w] << uint(i*bitsPerAxis)
-			colCoord[i] = lays[i].Cols[w]
-		}
-		inner := base.Map[base.Guest.Index(colCoord)]
-		e.Map[idx] = cube.Node(rowBits<<uint(base.N) | uint64(inner))
-	}
-	return e
-}
 
 // Halving embeds the ℓ1×…×ℓk wraparound mesh by Lemma 3, given a base
 // embedding of the ⌈ℓ1/2⌉×…×⌈ℓk/2⌉ mesh (without wraparound) with dilation
@@ -173,11 +30,13 @@ func assemble(base *embed.Embedding, shape mesh.Shape, lays []axisLayout, bitsPe
 // minimal.
 func Halving(base *embed.Embedding, shape mesh.Shape) *embed.Embedding {
 	checkBase(base, shape, 2)
-	lays := make([]axisLayout, shape.Dims())
+	lays := make([]ring.Layout, shape.Dims())
 	for i, l := range shape {
-		lays[i] = ringHalf(l)
+		lays[i] = ring.Half(l)
 	}
-	return assemble(base, shape, lays, 1)
+	e := ring.Assemble(base, shape, lays)
+	e.Family = guest.Torus
+	return e
 }
 
 // Quartering embeds the ℓ1×…×ℓk wraparound mesh by Lemma 4, given a base
@@ -186,15 +45,17 @@ func Halving(base *embed.Embedding, shape mesh.Shape) *embed.Embedding {
 // ⌈Πℓi⌉₂ == 4^k·⌈Π⌈ℓi/4⌉⌉₂ and the base is minimal.
 func Quartering(base *embed.Embedding, shape mesh.Shape) *embed.Embedding {
 	checkBase(base, shape, 4)
-	lays := make([]axisLayout, shape.Dims())
+	lays := make([]ring.Layout, shape.Dims())
 	for i, l := range shape {
-		lays[i] = ringQuarter(l)
+		lays[i] = ring.Quarter(l)
 	}
-	return assemble(base, shape, lays, 2)
+	e := ring.Assemble(base, shape, lays)
+	e.Family = guest.Torus
+	return e
 }
 
 func checkBase(base *embed.Embedding, shape mesh.Shape, div int) {
-	if base.Wrap {
+	if base.Family != guest.Mesh {
 		panic("wrap: base embedding must be of a mesh without wraparound")
 	}
 	if base.Guest.Dims() != shape.Dims() {
@@ -254,68 +115,13 @@ func AllEven(shape mesh.Shape) bool {
 // Corollary 3 for two-dimensional tori follows: dilation ≤ 2 whenever
 // QuarteringMinimal holds or both axes are even, and ≤ 3 whenever
 // HalvingMinimal holds, given dilation-2 base embeddings.
+//
+// Embed is the historical entry point; it delegates to the guest-family
+// planner (core.PlanGuest with guest.Torus), which makes the same choice.
 func Embed(shape mesh.Shape, opts core.Options) *embed.Embedding {
-	if err := shape.Validate(); err != nil {
+	p, err := core.PlanGuest(guest.Torus, shape, opts)
+	if err != nil {
 		panic(err)
 	}
-	allPow2 := true
-	for _, l := range shape {
-		if !bits.IsPow2(uint64(l)) {
-			allPow2 = false
-			break
-		}
-	}
-	if allPow2 {
-		e := embed.Gray(shape)
-		e.Wrap = true
-		return e
-	}
-	type cand struct {
-		e     *embed.Embedding
-		bound int
-	}
-	var cands []cand
-	if QuarteringMinimal(shape) {
-		baseShape := divShape(shape, 4)
-		basePlan := core.PlanShape(baseShape, opts)
-		if basePlan.Minimal() {
-			base := basePlan.Build()
-			d := base.Dilation()
-			cands = append(cands, cand{Quartering(base, shape), max(d, 2)})
-		}
-	}
-	if HalvingMinimal(shape) {
-		baseShape := divShape(shape, 2)
-		basePlan := core.PlanShape(baseShape, opts)
-		if basePlan.Minimal() {
-			base := basePlan.Build()
-			d := base.Dilation()
-			bound := d + 1
-			if AllEven(shape) {
-				bound = max(d, 1)
-			}
-			cands = append(cands, cand{Halving(base, shape), bound})
-		}
-	}
-	var best *embed.Embedding
-	bestBound := int(^uint(0) >> 1)
-	for _, c := range cands {
-		if c.e.Minimal() && c.bound < bestBound {
-			best, bestBound = c.e, c.bound
-		}
-	}
-	if best != nil {
-		return best
-	}
-	e := core.Snake(shape)
-	e.Wrap = true
-	return e
-}
-
-func divShape(s mesh.Shape, div int) mesh.Shape {
-	out := make(mesh.Shape, len(s))
-	for i, l := range s {
-		out[i] = (l + div - 1) / div
-	}
-	return out
+	return p.Build()
 }

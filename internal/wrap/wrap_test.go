@@ -3,81 +3,10 @@ package wrap
 import (
 	"testing"
 
-	"repro/internal/bits"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/mesh"
 )
-
-// ringEdgesOK walks the ring layout and checks every consecutive (and the
-// closing) step stays within the allowed per-step structure: row codes at
-// Hamming distance ≤ maxRow and columns differing by ≤ 1, never both.
-func ringLayoutOK(t *testing.T, lay axisLayout, l int, maxRow int) {
-	t.Helper()
-	if len(lay.Codes) != l || len(lay.Cols) != l {
-		t.Fatalf("layout length %d/%d, want %d", len(lay.Codes), len(lay.Cols), l)
-	}
-	seen := make(map[[2]int]bool)
-	for w := 0; w < l; w++ {
-		key := [2]int{int(lay.Codes[w]), lay.Cols[w]}
-		if seen[key] {
-			t.Fatalf("l=%d: duplicate strip slot %v", l, key)
-		}
-		seen[key] = true
-	}
-	if l == 1 {
-		return
-	}
-	for w := 0; w < l; w++ {
-		v := (w + 1) % l
-		rowDist := bits.Hamming(lay.Codes[w], lay.Codes[v])
-		colDist := lay.Cols[w] - lay.Cols[v]
-		if colDist < 0 {
-			colDist = -colDist
-		}
-		if rowDist > maxRow {
-			t.Errorf("l=%d: step %d→%d row distance %d > %d", l, w, v, rowDist, maxRow)
-		}
-		if colDist > 1 {
-			t.Errorf("l=%d: step %d→%d column distance %d", l, w, v, colDist)
-		}
-		if rowDist > 1 && colDist > 0 {
-			t.Errorf("l=%d: step %d→%d moves %d rows and %d columns", l, w, v, rowDist, colDist)
-		}
-	}
-}
-
-func TestRingHalfLayouts(t *testing.T) {
-	for l := 1; l <= 64; l++ {
-		lay := ringHalf(l)
-		m := (l + 1) / 2
-		for w := 0; w < l; w++ {
-			if lay.Cols[w] < 0 || lay.Cols[w] >= m {
-				t.Fatalf("l=%d: column %d out of strip", l, lay.Cols[w])
-			}
-		}
-		// Even rings: every step moves one row xor one column.  Odd rings:
-		// the wrap step may move a row and a column together (the logical
-		// edge through the removed slot), so only the slot/dup checks and
-		// the host-level dilation test below apply.
-		if l%2 == 0 {
-			ringLayoutOK(t, lay, l, 1)
-		}
-	}
-}
-
-func TestRingQuarterLayouts(t *testing.T) {
-	for l := 1; l <= 101; l++ {
-		lay := ringQuarter(l)
-		m := (l + 3) / 4
-		for w := 0; w < l; w++ {
-			if lay.Cols[w] < 0 || lay.Cols[w] >= m {
-				t.Fatalf("l=%d: column %d out of strip", l, lay.Cols[w])
-			}
-		}
-		ringLayoutOK(t, lay, l, 2)
-	}
-}
 
 func TestHalvingRingDilation(t *testing.T) {
 	// One-dimensional tori: base is a ⌈l/2⌉ path embedded by Gray
@@ -190,7 +119,7 @@ func TestEmbedAlwaysValidAndMinimal(t *testing.T) {
 		if err := e.Verify(); err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		if !e.Wrap {
+		if !e.Wraps() {
 			t.Errorf("%v: not marked wraparound", s)
 		}
 		if !e.Minimal() {

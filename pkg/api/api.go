@@ -28,8 +28,11 @@ const JobSchemaVersion = 1
 // Metrics is the measured quality of one embedding.  It mirrors the
 // metrics engine's result field-for-field (deliberately without JSON tags:
 // schema v1 serves Go field names, and changing that is a version bump).
+// Family names the guest family ("mesh", "torus", "cylinder", "tree");
+// Wrap is kept as the historical torus marker.
 type Metrics struct {
 	Guest         string
+	Family        string
 	Wrap          bool
 	CubeDim       int
 	Expansion     float64
@@ -47,6 +50,7 @@ type Metrics struct {
 type EmbeddingSerial struct {
 	Version int      `json:"version"`
 	Guest   string   `json:"guest"`
+	Family  string   `json:"family,omitempty"`
 	Wrap    bool     `json:"wrap,omitempty"`
 	Cube    int      `json:"cube"`
 	Map     []uint64 `json:"map"`
@@ -64,15 +68,21 @@ type SimRoundStats struct {
 	AvgHops   float64
 }
 
-// PlanRequest is the POST /v1/plan body.
+// PlanRequest is the POST /v1/plan body.  Family selects the guest family
+// registered in the topology registry — "mesh" (the default when the field
+// is empty or absent, so pre-family clients are unaffected), "torus",
+// "cylinder" (wraparound on the last axis only) or "tree" (shape 2^h−1
+// read as the complete binary tree).
 type PlanRequest struct {
-	Shape string `json:"shape"`
+	Shape  string `json:"shape"`
+	Family string `json:"family,omitempty"`
 }
 
 // PlanResponse is the /v1/plan reply.
 type PlanResponse struct {
 	Version       int        `json:"version"`
 	Shape         string     `json:"shape"`
+	Family        string     `json:"family,omitempty"` // echoed guest family; empty means mesh
 	Nodes         int        `json:"nodes"`
 	CubeDim       int        `json:"cube_dim"`
 	Plan          string     `json:"plan"`
@@ -84,9 +94,12 @@ type PlanResponse struct {
 
 // EmbedRequest is the POST /v1/embed body.  Mode selects the construction:
 // "" or "decomposition" (the planner), "gray" (the baseline), "torus"
-// (wraparound guest, Section 6 constructions).
+// (the historical spelling of Family "torus").  Family selects the guest
+// family ("mesh" when empty; see PlanRequest.Family); it composes with the
+// default mode and must agree with mode "torus" when both are given.
 type EmbedRequest struct {
 	Shape      string `json:"shape"`
+	Family     string `json:"family,omitempty"`
 	Mode       string `json:"mode,omitempty"`
 	IncludeMap bool   `json:"include_map,omitempty"`
 }
@@ -95,6 +108,7 @@ type EmbedRequest struct {
 type EmbedResponse struct {
 	Version       int              `json:"version"`
 	Shape         string           `json:"shape"`
+	Family        string           `json:"family,omitempty"` // echoed guest family; empty means mesh
 	Mode          string           `json:"mode"`
 	Plan          string           `json:"plan,omitempty"`
 	Method        int              `json:"method,omitempty"`
@@ -105,9 +119,12 @@ type EmbedResponse struct {
 	Debug         *DebugInfo       `json:"debug,omitempty"`
 }
 
-// CompareRequest is the POST /v1/compare body.
+// CompareRequest is the POST /v1/compare body.  Family selects the guest
+// family the techniques are measured under ("mesh" when empty; see
+// PlanRequest.Family).
 type CompareRequest struct {
 	Shape  string `json:"shape"`
+	Family string `json:"family,omitempty"`
 	Simnet bool   `json:"simnet,omitempty"`
 }
 
@@ -122,6 +139,7 @@ type CompareRow struct {
 type CompareResponse struct {
 	Version int                      `json:"version"`
 	Shape   string                   `json:"shape"`
+	Family  string                   `json:"family,omitempty"` // echoed guest family; empty means mesh
 	Rows    []CompareRow             `json:"rows"`
 	Simnet  map[string]SimRoundStats `json:"simnet,omitempty"`
 	Source  string                   `json:"source"`

@@ -23,9 +23,9 @@ func goldenCases() []struct {
 		name  string
 		value any
 	}{
-		{"plan_request", PlanRequest{Shape: "5x6x7"}},
+		{"plan_request", PlanRequest{Shape: "5x6x7", Family: "cylinder"}},
 		{"plan_response", PlanResponse{
-			Version: Version, Shape: "5x6x7", Nodes: 210, CubeDim: 8,
+			Version: Version, Shape: "5x6x7", Family: "cylinder", Nodes: 210, CubeDim: 8,
 			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
 			Source: "computed",
 			Debug: &DebugInfo{
@@ -34,12 +34,12 @@ func goldenCases() []struct {
 				PlanTrace: json.RawMessage(`{"attempts":[]}`),
 			},
 		}},
-		{"embed_request", EmbedRequest{Shape: "6x10", Mode: "torus", IncludeMap: true}},
+		{"embed_request", EmbedRequest{Shape: "6x10", Family: "torus", Mode: "torus", IncludeMap: true}},
 		{"embed_response", EmbedResponse{
 			Version: Version, Shape: "5x6x7", Mode: "decomposition",
 			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
 			Metrics: Metrics{
-				Guest: "5x6x7", CubeDim: 8, Expansion: 1.2190, Minimal: true,
+				Guest: "5x6x7", Family: "mesh", CubeDim: 8, Expansion: 1.2190, Minimal: true,
 				Dilation: 2, AvgDilation: 1.1034, Congestion: 3, AvgCongestion: 1.4128,
 				LoadFactor: 1,
 			},
@@ -48,12 +48,12 @@ func goldenCases() []struct {
 				Version: 1, Guest: "1x2", Cube: 1, Map: []uint64{0, 1},
 			},
 		}},
-		{"compare_request", CompareRequest{Shape: "12x20", Simnet: true}},
+		{"compare_request", CompareRequest{Shape: "12x20", Family: "torus", Simnet: true}},
 		{"compare_response", CompareResponse{
 			Version: Version, Shape: "12x20",
 			Rows: []CompareRow{{
 				Technique: "gray",
-				Metrics:   Metrics{Guest: "12x20", CubeDim: 9, Expansion: 2.1333, Dilation: 1, AvgDilation: 1, Congestion: 1, AvgCongestion: 1, LoadFactor: 1},
+				Metrics:   Metrics{Guest: "12x20", Family: "mesh", CubeDim: 9, Expansion: 2.1333, Dilation: 1, AvgDilation: 1, Congestion: 1, AvgCongestion: 1, LoadFactor: 1},
 			}},
 			Simnet: map[string]SimRoundStats{
 				"gray": {Messages: 916, TotalHops: 916, MaxHops: 1, Makespan: 4, MaxLink: 4, AvgHops: 1},
@@ -72,7 +72,7 @@ func goldenCases() []struct {
 			Kind: JobCensus, Workers: 8, Census: &CensusParams{MaxN: 9},
 		}},
 		{"job_submit_request_plansweep", JobSubmitRequest{
-			Kind: JobPlanSweep, PlanSweep: &PlanSweepParams{Dims: 3, MaxAxis: 16, MaxNodes: 4096},
+			Kind: JobPlanSweep, PlanSweep: &PlanSweepParams{Dims: 3, MaxAxis: 16, MaxNodes: 4096, Family: "cylinder"},
 		}},
 		{"job_status", JobStatus{
 			Version: Version, ID: "j-ab12cd34-000001", Kind: JobCensus, State: JobRunning,
@@ -104,7 +104,7 @@ func goldenCases() []struct {
 			Type: RecordEpsilonRow, N: 6, Eps1: 95.7, Eps2: 4.0, Eps4: 0.3, EpsWorse: 0,
 		}},
 		{"plan_record", PlanRecord{
-			Type: RecordPlan, Shape: "3x5x17", Nodes: 255, CubeDim: 8,
+			Type: RecordPlan, Shape: "3x5x17", Family: "torus", Nodes: 255, CubeDim: 8,
 			Plan: "snake(3x5x17)", Method: 0, DilationBound: -1, Minimal: true,
 			BestMethod: 0, RelExpansion: []float64{1.6, 1.6, 1.6, 1},
 		}},

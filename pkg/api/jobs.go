@@ -83,12 +83,15 @@ type EpsilonParams struct {
 	MaxN int `json:"max_n"`
 }
 
-// PlanSweepParams parameterizes a plansweep job: sorted shapes with Dims
-// axes, each ≤ MaxAxis, and at most MaxNodes nodes.
+// PlanSweepParams parameterizes a plansweep job: canonical guest shapes of
+// the family (sorted for mesh and torus) with Dims axes, each ≤ MaxAxis, and
+// at most MaxNodes nodes.  Family empty means "mesh" (see
+// PlanRequest.Family); tree sweeps ignore Dims beyond requiring ≥ 1.
 type PlanSweepParams struct {
-	Dims     int `json:"dims"`
-	MaxAxis  int `json:"max_axis"`
-	MaxNodes int `json:"max_nodes"`
+	Dims     int    `json:"dims"`
+	MaxAxis  int    `json:"max_axis"`
+	MaxNodes int    `json:"max_nodes"`
+	Family   string `json:"family,omitempty"`
 }
 
 // JobProgress is the live progress block of a job status.
@@ -190,6 +193,7 @@ type EpsilonRowRecord struct {
 type PlanRecord struct {
 	Type          string `json:"type"` // RecordPlan
 	Shape         string `json:"shape"`
+	Family        string `json:"family,omitempty"` // guest family; empty means mesh
 	Nodes         int    `json:"nodes"`
 	CubeDim       int    `json:"cube_dim"`
 	Plan          string `json:"plan"`

@@ -26,6 +26,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/guest"
 	"repro/internal/manyone"
 	"repro/internal/mesh"
 	"repro/internal/wrap"
@@ -33,6 +34,29 @@ import (
 
 // Shape is the vector of mesh axis lengths; see mesh.Shape.
 type Shape = mesh.Shape
+
+// Family identifies a guest topology family: how a shape's node set is
+// turned into a graph.  See the Family* constants for the registered
+// families.
+type Family = guest.Family
+
+// The registered guest families.
+const (
+	FamilyMesh     = guest.Mesh     // plain mesh (the paper's guest)
+	FamilyTorus    = guest.Torus    // wraparound on every axis (Section 6)
+	FamilyCylinder = guest.Cylinder // wraparound on the last axis only
+	FamilyTree     = guest.Tree     // complete binary tree on 2^h−1 nodes
+)
+
+// ParseFamily resolves a family wire name ("mesh", "torus", "cylinder",
+// "tree"); the empty string means FamilyMesh.
+func ParseFamily(name string) (Family, error) {
+	d, err := guest.ByName(name)
+	if err != nil {
+		return FamilyMesh, err
+	}
+	return d.Family, nil
+}
 
 // Embedding maps a guest mesh into a Boolean cube; see embed.Embedding.
 type Embedding = embed.Embedding
@@ -118,6 +142,24 @@ func (pl *Planner) Plan(shape Shape) *Plan { return pl.p.Plan(shape) }
 // panicking, for untrusted input (servers, RPC boundaries).
 func (pl *Planner) TryPlan(shape Shape) (*Plan, error) { return pl.p.TryPlan(shape) }
 
+// PlanFamily plans the guest (family, shape) through the shared cache; it
+// panics when the shape is not a valid member of the family (TryPlanFamily
+// returns the error instead).  PlanFamily(FamilyMesh, s) == Plan(s).
+func (pl *Planner) PlanFamily(f Family, shape Shape) *Plan { return pl.p.PlanGuest(f, shape) }
+
+// TryPlanFamily is PlanFamily returning guest-validation failures as
+// errors, for untrusted input.
+func (pl *Planner) TryPlanFamily(f Family, shape Shape) (*Plan, error) {
+	return pl.p.TryPlanGuest(f, shape)
+}
+
+// EmbedFamily plans, builds and measures a guest of the family in one call.
+func (pl *Planner) EmbedFamily(f Family, shape Shape) Result {
+	plan := pl.p.PlanGuest(f, shape)
+	e := plan.Build()
+	return Result{Plan: plan, Embedding: e, Metrics: e.Measure()}
+}
+
 // Embed plans, builds and measures in one call.
 func (pl *Planner) Embed(shape Shape) Result {
 	plan := pl.p.Plan(shape)
@@ -156,10 +198,18 @@ func EmbedGray(shape Shape) Result {
 
 // EmbedTorus builds a minimal-expansion embedding of the wraparound mesh
 // using the constructions of Section 6 (cyclic Gray codes, quartering,
-// halving, snake fallback).
+// halving, snake fallback).  It is EmbedFamily(FamilyTorus, shape) without
+// the plan tree, kept for compatibility.
 func EmbedTorus(shape Shape) Result {
 	e := wrap.Embed(shape, core.DefaultOptions)
 	return Result{Plan: nil, Embedding: e, Metrics: e.Measure()}
+}
+
+// EmbedFamily builds a minimal-expansion embedding of the guest
+// (family, shape) with default options, sharing the process-wide planner
+// cache.  EmbedFamily(FamilyMesh, s) == Embed(s).
+func EmbedFamily(f Family, shape Shape) Result {
+	return defaultPlanner.EmbedFamily(f, shape)
 }
 
 // EmbedManyToOne embeds the mesh into an n-cube smaller than the mesh with

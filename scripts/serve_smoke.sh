@@ -30,6 +30,12 @@ grep -q '"ok"' "$tmp/healthz.json" || { echo "serve-smoke: bad healthz: $(cat "$
 curl -fsS -X POST -d '{"shape":"5x6x7"}' "http://$addr/v1/embed" >"$tmp/embed.json"
 grep -q '"Dilation": 2' "$tmp/embed.json" || { echo "serve-smoke: bad embed response: $(cat "$tmp/embed.json")"; exit 1; }
 
+# A non-mesh guest family end-to-end: a cylinder with a power-of-two wrapped
+# axis embeds Gray with dilation 1 and must echo its family.
+curl -fsS -X POST -d '{"shape":"3x4x8","family":"cylinder"}' "http://$addr/v1/embed" >"$tmp/cyl.json"
+grep -q '"family": "cylinder"' "$tmp/cyl.json" || { echo "serve-smoke: bad cylinder embed: $(cat "$tmp/cyl.json")"; exit 1; }
+grep -q '"Dilation": 1' "$tmp/cyl.json" || { echo "serve-smoke: bad cylinder dilation: $(cat "$tmp/cyl.json")"; exit 1; }
+
 kill -TERM "$pid"
 wait "$pid" || { echo "serve-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }
 pid=""
