@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke
 
-check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke
+check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke
 
 # Regenerate the enumgen boilerplate (strategy names, plan kinds, guest
 # families).
@@ -55,14 +55,18 @@ bench-short:
 # guest families on the 64³ shape), the PR 3 server-path handlers (cached
 # vs uncached /v1/embed via httptest), the PR 4 observability overhead
 # pairs (Measure vs MeasureTraced, cached handler vs tracing-off vs
-# ?debug=trace) and the PR 5 batch-job end-to-end throughput (submit →
-# chunks → checkpoints → finish, reported as shapes/sec); see
-# EXPERIMENTS.md for the recorded numbers.
+# ?debug=trace), the PR 5 batch-job end-to-end throughput (submit →
+# chunks → checkpoints → finish, reported as shapes/sec) and the PR 7 plan
+# tiers (closed-form classifier, census-mode classification throughput,
+# artifact lookup, and the resolver-level closed_form / artifact / compute
+# split); see EXPERIMENTS.md for the recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler' -benchmem ./internal/server; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler|BenchmarkPlanTier' -benchmem ./internal/server; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkClassify' -benchmem ./internal/core; \
+	  $(GO) test -run '^$$' -bench . -benchmem ./internal/artifact; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.
@@ -81,6 +85,13 @@ obs-smoke:
 # uninterrupted run.
 jobs-smoke:
 	sh scripts/jobs_smoke.sh
+
+# End-to-end check of the plan-artifact tier chain: embedctl artifact
+# build/inspect/verify on a small domain, embedserver -plan-artifact, and
+# /v1/plan answering with artifact / closed_form / computed / cache sources
+# (with the per-tier /metrics counters to prove it).
+artifact-smoke:
+	sh scripts/artifact_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

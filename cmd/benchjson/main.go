@@ -8,31 +8,44 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/embed ./internal/server | go run ./cmd/benchjson
+//
+// Every run is stamped with a bench_id — unique per invocation unless -id
+// pins it — so runs of the same suite remain distinguishable after their
+// documents are merged or archived together.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line.  Extra carries any units beyond
+// the standard three — custom b.ReportMetric values such as the classify
+// census's Mshapes/s pass through under their reported unit.
 type Result struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Summary is the emitted document.  Pkg is kept for single-package runs
 // (and holds the last package seen on multi-package input); the per-record
 // Pkg field is authoritative.
 type Summary struct {
+	// BenchID identifies this run: the -id flag when given, else
+	// host-pid-unixms, unique per invocation.
+	BenchID    string   `json:"bench_id"`
+	UnixMS     int64    `json:"unix_ms"`
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
@@ -41,7 +54,17 @@ type Summary struct {
 }
 
 func main() {
-	sum := Summary{Benchmarks: []Result{}}
+	id := flag.String("id", "", "bench_id to stamp on the summary (default: host-pid-unixms)")
+	flag.Parse()
+	now := time.Now()
+	sum := Summary{BenchID: *id, UnixMS: now.UnixMilli(), Benchmarks: []Result{}}
+	if sum.BenchID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "unknown"
+		}
+		sum.BenchID = fmt.Sprintf("%s-%d-%d", host, os.Getpid(), now.UnixMilli())
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -78,8 +101,8 @@ func main() {
 //
 //	BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op
 //
-// Unknown value/unit pairs are ignored so custom ReportMetric units pass
-// through harmlessly.
+// Unknown value/unit pairs land in Extra so custom ReportMetric units are
+// preserved.
 func parseBench(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -96,13 +119,18 @@ func parseBench(line string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, true

@@ -70,6 +70,11 @@ func cmdBench(args []string) {
 		return time.Since(start), nil
 	}
 
+	// Tier counters before the run; deltas are reported at the end so the
+	// server-side split (L0 / closed-form / artifact / compute) is visible
+	// next to the client-side latencies.
+	tiersBefore := fetchTierCounters(c)
+
 	// Cold phase: one serial request per shape, before any caching.
 	var cold []time.Duration
 	for _, s := range shapeList {
@@ -160,9 +165,44 @@ func cmdBench(args []string) {
 		round(warm[0]), round(warm[len(warm)-1]))
 	ratio := float64(percentile(cold, 50)) / float64(percentile(warm, 50))
 	fmt.Fprintf(human, "cold p50 / warm p50 = %.1fx\n", ratio)
+	if tiersBefore != nil {
+		if after := fetchTierCounters(c); after != nil {
+			var parts []string
+			for _, t := range tierNames {
+				parts = append(parts, fmt.Sprintf("%s=%d", t, after[t]-tiersBefore[t]))
+			}
+			fmt.Fprintf(human, "plan tiers (server-side deltas): %s\n", strings.Join(parts, " "))
+		}
+	}
 	if *jsonOut {
 		writeBenchJSON(cold, warm, elapsed, errsCount, *mode, shapeList)
 	}
+}
+
+// tierNames are the plan-tier counters of the server's /metrics, in
+// hierarchy order.
+var tierNames = []string{"l0", "closed_form", "artifact", "compute"}
+
+// fetchTierCounters scrapes the embedserver_plan_tier_*_total counters.
+// Any failure returns nil — the bench must not fail because a proxy strips
+// /metrics.
+func fetchTierCounters(c *client.Client) map[string]uint64 {
+	text, err := c.RawMetrics(context.Background())
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(tierNames))
+	for _, line := range strings.Split(text, "\n") {
+		for _, t := range tierNames {
+			if v, ok := strings.CutPrefix(line, "embedserver_plan_tier_"+t+"_total "); ok {
+				var f float64
+				if _, err := fmt.Sscanf(v, "%g", &f); err == nil {
+					out[t] = uint64(f)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // benchResult is one summary statistic in the record shape of cmd/benchjson,

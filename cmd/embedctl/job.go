@@ -61,9 +61,9 @@ func cmdJob(args []string) {
 
 func jobUsage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  embedctl job submit [-addr URL] -kind census|epsilon|plansweep
+  embedctl job submit [-addr URL] -kind census|epsilon|plansweep|plancensus
                       [-max-n N] [-dims K] [-max-axis L] [-max-nodes M]
-                      [-workers W] [-watch]
+                      [-family F] [-workers W] [-watch]
   embedctl job status  [-addr URL] <id>
   embedctl job watch   [-addr URL] <id>
   embedctl job results [-addr URL] [-offset B] <id>
@@ -137,11 +137,12 @@ func jobNote(st api.JobStatus) string {
 func jobSubmit(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("job submit", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
-	kind := fs.String("kind", "", "job kind: census, epsilon or plansweep")
+	kind := fs.String("kind", "", "job kind: census, epsilon, plansweep or plancensus")
 	maxN := fs.Int("max-n", 0, "census/epsilon domain exponent (axes range over 1..2^N)")
-	dims := fs.Int("dims", 3, "plansweep shape dimensionality")
-	maxAxis := fs.Int("max-axis", 16, "plansweep axis bound")
+	dims := fs.Int("dims", 3, "plansweep/plancensus shape dimensionality")
+	maxAxis := fs.Int("max-axis", 16, "plansweep/plancensus axis bound")
 	maxNodes := fs.Int("max-nodes", 1<<12, "plansweep node bound")
+	family := fs.String("family", "", "plansweep/plancensus guest family (default mesh)")
 	workers := fs.Int("workers", 0, "per-chunk worker bound (0: server default)")
 	watch := fs.Bool("watch", false, "watch progress until the job finishes")
 	_ = fs.Parse(args)
@@ -155,7 +156,9 @@ func jobSubmit(ctx context.Context, args []string) {
 	case api.JobEpsilon:
 		req.Epsilon = &api.EpsilonParams{MaxN: *maxN}
 	case api.JobPlanSweep:
-		req.PlanSweep = &api.PlanSweepParams{Dims: *dims, MaxAxis: *maxAxis, MaxNodes: *maxNodes}
+		req.PlanSweep = &api.PlanSweepParams{Dims: *dims, MaxAxis: *maxAxis, MaxNodes: *maxNodes, Family: *family}
+	case api.JobPlanCensus:
+		req.PlanCensus = &api.PlanCensusParams{Dims: *dims, MaxAxis: *maxAxis, Family: *family}
 	default:
 		jobUsage()
 	}

@@ -14,6 +14,7 @@
 //	embedctl manyone -cube 5 19x19   # many-to-one per Corollary 5
 //	embedctl compare 12x20           # decomposition vs Gray vs reshaping
 //	embedctl sweep -dims 3 -max 16   # plan every sorted shape in a range
+//	embedctl artifact build -o p.art # precompute a plan-census artifact
 package main
 
 import (
@@ -54,6 +55,11 @@ func usage() {
                                         drive batch-sweep jobs on a running
                                         embedserver (run "embedctl job" for
                                         the full flag list)
+  embedctl artifact build|inspect|verify
+                                        build, inspect and verify the
+                                        plan-census artifacts served by
+                                        embedserver -plan-artifact (run
+                                        "embedctl artifact" for flags)
   embedctl explain [-build] <shape>     show the planner's strategy
                                         provenance: every strategy tried,
                                         skipped (with the gate reason) or
@@ -89,6 +95,8 @@ func main() {
 		cmdBench(args)
 	case "job":
 		cmdJob(args)
+	case "artifact":
+		cmdArtifact(args)
 	case "explain":
 		cmdExplain(args)
 	case "trace":

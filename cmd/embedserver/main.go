@@ -19,6 +19,14 @@
 //	-tracing=false                     kill switch for the span tracer
 //	                                   behind ?debug=trace
 //
+// Plan tiers:
+//
+//	-plan-artifact FILE                load a precomputed plan-census
+//	                                   artifact (internal/artifact) as the
+//	                                   O(1) L1 plan tier; the artifact's
+//	                                   planner-option fingerprint must match
+//	                                   this server's, or startup fails
+//
 // Batch jobs:
 //
 //	-data-dir DIR                      enable the /v1/jobs batch subsystem,
@@ -53,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -70,6 +79,7 @@ func main() {
 	noLog := flag.Bool("no-log", false, "disable the structured access log")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener serving net/http/pprof and expvar (empty: off)")
 	tracing := flag.Bool("tracing", true, "enable the span tracer behind ?debug=trace / X-Debug-Trace")
+	planArtifact := flag.String("plan-artifact", "", "plan-census artifact file served as the O(1) L1 plan tier (build one with a plancensus job or embedctl artifact build)")
 	dataDir := flag.String("data-dir", "", "enable /v1/jobs, persisting job state and results under this directory (empty: jobs disabled)")
 	jobQueue := flag.Int("job-queue", 8, "bounded job submission queue; full submissions get 429")
 	jobRunners := flag.Int("job-runners", 1, "concurrent job executors")
@@ -105,6 +115,20 @@ func main() {
 		Timeout:     *timeout,
 		Logger:      logger,
 	})
+	if *planArtifact != "" {
+		a, err := artifact.Open(*planArtifact)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embedserver: plan artifact:", err)
+			os.Exit(1)
+		}
+		if err := s.AttachArtifact(a); err != nil {
+			fmt.Fprintln(os.Stderr, "embedserver:", err)
+			os.Exit(1)
+		}
+		hdr := a.Header()
+		fmt.Printf("embedserver: plan artifact %s (%s, %dd, axes ≤%d, %d records)\n",
+			*planArtifact, hdr.Family, hdr.Dims, hdr.MaxAxis, hdr.RecordCount)
+	}
 	var jobMgr *jobs.Manager
 	if *dataDir != "" {
 		var err error

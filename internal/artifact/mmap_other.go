@@ -1,0 +1,13 @@
+//go:build !unix
+
+package artifact
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails off unix; Open falls back to pread.
+func mapFile(*os.File, uint64) (sectionReader, error) {
+	return nil, errors.New("artifact: mmap unsupported on this platform")
+}

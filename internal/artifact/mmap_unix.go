@@ -1,0 +1,36 @@
+//go:build unix
+
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapReader serves slices straight out of a read-only shared mapping —
+// the O(1) lookup path: no copy, no syscall after open.
+type mmapReader struct {
+	b []byte
+}
+
+func (r *mmapReader) slice(off, n uint64) ([]byte, error) {
+	if off+n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("artifact: read [%d,%d) beyond mapping size %d", off, off+n, len(r.b))
+	}
+	return r.b[off : off+n : off+n], nil
+}
+
+func (r *mmapReader) close() error { return syscall.Munmap(r.b) }
+
+// mapFile maps the whole file read-only.
+func mapFile(f *os.File, size uint64) (sectionReader, error) {
+	if size == 0 || size > uint64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("artifact: size %d not mappable", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapReader{b: b}, nil
+}

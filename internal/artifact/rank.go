@@ -1,0 +1,114 @@
+// Package artifact defines the plan-census artifact: a compact, versioned,
+// mmap-able table holding the planner's answer for every canonical shape of
+// one guest family within an axis bound, indexed by a closed-form shape
+// rank so a loaded artifact serves O(1) plan lookups with no planner run.
+//
+// The rank is the colexicographic rank of the canonical (ascending-sorted)
+// shape among all multisets of size dims drawn from {1..maxAxis}:
+//
+//	rank(ℓ1 ≤ … ≤ ℓd) = Σᵢ C(ℓᵢ + i − 1, i + 1)   (i zero-based)
+//
+// via the usual bijection xᵢ = ℓᵢ + i onto strictly increasing sequences.
+// Colex order sorts by the largest axis last, so the shapes with largest
+// axis exactly c occupy the contiguous rank interval
+// [C(c+d−2, d), C(c+d−1, d)) — which is what makes "one chunk per largest
+// axis" both resumable and append-only for the builder.
+package artifact
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// binomial returns C(n, k) without overflow for the argument ranges the
+// artifact admits (n ≤ maxAxis+dims, k ≤ dims; the record-count cap keeps
+// every intermediate product within uint64).
+func binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := uint64(1)
+	for i := 1; i <= k; i++ {
+		r = r * uint64(n-k+i) / uint64(i)
+	}
+	return r
+}
+
+// TotalRecords returns the number of canonical shapes with dims axes each
+// in 1..maxAxis: C(maxAxis+dims−1, dims).
+func TotalRecords(dims, maxAxis int) uint64 {
+	return binomial(maxAxis+dims-1, dims)
+}
+
+// ChunkRange returns the rank interval [lo, hi) of the shapes whose
+// largest axis is exactly c.
+func ChunkRange(dims, c int) (lo, hi uint64) {
+	return binomial(c+dims-2, dims), binomial(c+dims-1, dims)
+}
+
+// Rank returns the colex rank of a canonical shape.  The shape must be
+// ascending-sorted; IsCanonical reports whether it is.
+func Rank(s mesh.Shape) uint64 {
+	var r uint64
+	for i, l := range s {
+		r += binomial(l+i-1, i+1)
+	}
+	return r
+}
+
+// IsCanonical reports whether the shape is in the artifact's canonical
+// (ascending-sorted) axis order.
+func IsCanonical(s mesh.Shape) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// EachShapeWithMax calls fn for every canonical shape with dims axes whose
+// largest axis is exactly c, in rank order (ranks ChunkRange(dims, c) lo,
+// lo+1, …, hi−1).  The shape passed to fn is reused between calls; clone it
+// to retain it.  Colex rank order nests as "later axes vary slower", so the
+// loops run ℓ_{d−1} outermost down to ℓ_0 innermost.
+func EachShapeWithMax(dims, c int, fn func(mesh.Shape)) {
+	if dims < 1 || c < 1 {
+		return
+	}
+	cur := make(mesh.Shape, dims)
+	cur[dims-1] = c
+	var rec func(i int)
+	rec = func(i int) {
+		if i < 0 {
+			fn(cur)
+			return
+		}
+		for l := 1; l <= cur[i+1]; l++ {
+			cur[i] = l
+			rec(i - 1)
+		}
+	}
+	rec(dims - 2)
+}
+
+// CheckShape validates that a shape is a rankable canonical shape within
+// the artifact bounds.
+func CheckShape(s mesh.Shape, dims, maxAxis int) error {
+	if len(s) != dims {
+		return fmt.Errorf("artifact: shape %s has %d axes, artifact covers %d", s, len(s), dims)
+	}
+	if !IsCanonical(s) {
+		return fmt.Errorf("artifact: shape %s is not in canonical (ascending) order", s)
+	}
+	for _, l := range s {
+		if l < 1 || l > maxAxis {
+			return fmt.Errorf("artifact: axis %d of %s outside 1..%d", l, s, maxAxis)
+		}
+	}
+	return nil
+}

@@ -238,3 +238,9 @@ func (pl *Planner) Options() Options {
 	o.Cost = pl.pc.cost
 	return o
 }
+
+// Fingerprint returns the option fingerprint (solver budget, solver seed,
+// cost model) that keys this planner's cache entries.  Plan-census
+// artifacts are stamped with it so a server can refuse to serve records
+// computed under different planner options.
+func (pl *Planner) Fingerprint() string { return pl.pc.fp }

@@ -51,6 +51,9 @@ var (
 	ErrBadRequest = errors.New("jobs: invalid request")
 	// ErrClosed rejects submissions to a closing manager.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotReady reports an artifact download before the producing job
+	// reached the done state.
+	ErrNotReady = errors.New("jobs: job has not finished")
 )
 
 // errShutdown and errCancelled distinguish why a run's context died:
@@ -315,7 +318,7 @@ func (m *Manager) restore() ([]*job, error) {
 // Submit validates the request, persists a queued job and enqueues it.
 // The reply is the job's initial status (its id above all).
 func (m *Manager) Submit(req api.JobSubmitRequest) (api.JobStatus, error) {
-	if _, err := buildRunner(&req, m.workersFor(&req), m.cfg.Planner); err != nil {
+	if _, err := buildRunner(&req, m.workersFor(&req), m.cfg.Planner, ""); err != nil {
 		return api.JobStatus{}, err
 	}
 	m.mu.Lock()
@@ -459,6 +462,27 @@ func (m *Manager) Results(id string) (ResultsInfo, error) {
 	}, nil
 }
 
+// ArtifactPath returns the artifact file of a finished plancensus job.
+// Unknown ids are ErrNotFound, other kinds ErrBadRequest, and unfinished
+// jobs ErrNotReady (the file would be torn or still growing).
+func (m *Manager) ArtifactPath(id string) (string, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.kind != api.JobPlanCensus {
+		return "", fmt.Errorf("%w: job kind %q produces no artifact", ErrBadRequest, j.kind)
+	}
+	if j.state != api.JobDone {
+		return "", fmt.Errorf("%w: job %s is %s", ErrNotReady, id, j.state)
+	}
+	return filepath.Join(j.dir, ArtifactFile), nil
+}
+
 // Stats is the manager snapshot exported on /metrics.
 type Stats struct {
 	Queued, Running, Done, Failed, Cancelled int
@@ -538,10 +562,15 @@ func (m *Manager) runJob(j *job) {
 	if hook := m.cfg.beforeRun; hook != nil {
 		hook(j.id)
 	}
-	runner, err := buildRunner(&j.req, m.workersFor(&j.req), m.cfg.Planner)
+	runner, err := buildRunner(&j.req, m.workersFor(&j.req), m.cfg.Planner, j.dir)
 	if err != nil {
 		m.finalize(j, api.JobFailed, err)
 		return
+	}
+	// Release runner-held resources (the plancensus artifact builder) on
+	// every exit path; a cleanly finished runner has already let them go.
+	if c, ok := runner.(runnerCloser); ok {
+		defer c.close()
 	}
 	jctx, cancel := context.WithCancelCause(m.ctx)
 	defer cancel(nil)

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"strconv"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/mesh"
@@ -50,9 +52,18 @@ type kindRunner interface {
 	restore(agg json.RawMessage) error
 }
 
+// runnerCloser is implemented by runners holding resources (the plancensus
+// artifact builder); the manager closes them when a run stops for any
+// reason other than a clean finish.
+type runnerCloser interface {
+	close()
+}
+
 // buildRunner validates a submission and constructs its runner.  Validation
-// failures wrap ErrBadRequest so the API layer can map them to 400s.
-func buildRunner(req *api.JobSubmitRequest, workers int, planner *core.Planner) (kindRunner, error) {
+// failures wrap ErrBadRequest so the API layer can map them to 400s.  dir
+// is the job's data directory — empty at submission time, when buildRunner
+// runs for validation only, so runners must touch it lazily.
+func buildRunner(req *api.JobSubmitRequest, workers int, planner *core.Planner, dir string) (kindRunner, error) {
 	switch req.Kind {
 	case api.JobCensus:
 		p := req.Census
@@ -95,6 +106,36 @@ func buildRunner(req *api.JobSubmitRequest, workers int, planner *core.Planner) 
 			family:  fam.Family,
 			workers: workers,
 			planner: planner,
+			hist:    map[string]uint64{},
+		}, nil
+	case api.JobPlanCensus:
+		p := req.PlanCensus
+		if p == nil {
+			return nil, fmt.Errorf("%w: kind %q requires the plancensus parameter block", ErrBadRequest, req.Kind)
+		}
+		if p.Dims < 1 || p.Dims > maxSweepDims {
+			return nil, fmt.Errorf("%w: plancensus dims must be 1..%d, got %d", ErrBadRequest, maxSweepDims, p.Dims)
+		}
+		if p.MaxAxis < 1 || p.MaxAxis > maxSweepAxis {
+			return nil, fmt.Errorf("%w: plancensus max_axis must be 1..%d, got %d", ErrBadRequest, maxSweepAxis, p.MaxAxis)
+		}
+		if total := artifact.TotalRecords(p.Dims, p.MaxAxis); total > artifact.MaxRecords {
+			return nil, fmt.Errorf("%w: plancensus dims=%d max_axis=%d spans %d records (cap %d)",
+				ErrBadRequest, p.Dims, p.MaxAxis, total, artifact.MaxRecords)
+		}
+		fam, err := guest.ByName(p.Family)
+		if err != nil {
+			return nil, fmt.Errorf("%w: plancensus %v", ErrBadRequest, err)
+		}
+		if fam.Family != guest.Mesh && fam.Family != guest.Torus {
+			return nil, fmt.Errorf("%w: plancensus covers the rank-indexable families mesh and torus, not %q",
+				ErrBadRequest, fam.Family)
+		}
+		return &plancensusRunner{
+			params:  *p,
+			family:  fam.Family,
+			planner: planner,
+			dir:     dir,
 			hist:    map[string]uint64{},
 		}, nil
 	default:
@@ -310,4 +351,169 @@ func (r *plansweepRunner) restore(agg json.RawMessage) error {
 	}
 	r.hist, r.minimal = a.Hist, a.Minimal
 	return nil
+}
+
+// ArtifactFile is the plancensus artifact's file name inside the job
+// directory.
+const ArtifactFile = "artifact.plan"
+
+// plancensusRunner sweeps every canonical shape of the family in rank
+// order and writes the plan-census artifact, one chunk per largest-axis
+// value (artifact.ChunkRange makes those rank-contiguous, so the builder is
+// append-only).  The NDJSON stream carries one line per chunk plus the
+// summary — the artifact file itself is the payload, downloaded via
+// GET /v1/jobs/{id}/artifact.
+//
+// The aggregate is the builder position (nextRank, stringCursor) plus the
+// dilation histogram; on restore (or an intra-chunk retry) the builder is
+// reopened at exactly the checkpointed position, truncating whatever a torn
+// chunk wrote past it, which keeps both the artifact bytes and the record
+// stream byte-identical to an uninterrupted run.
+type plancensusRunner struct {
+	params  api.PlanCensusParams
+	family  guest.Family
+	planner *core.Planner
+	dir     string
+
+	b        *artifact.Builder
+	nextRank uint64
+	cursor   uint64
+	hist     map[string]uint64
+	minimal  uint64
+}
+
+func (r *plancensusRunner) chunks() int { return r.params.MaxAxis }
+
+func (r *plancensusRunner) path() string { return filepath.Join(r.dir, ArtifactFile) }
+
+// ensureBuilder (re)opens the builder at the checkpointed position.  A
+// builder whose position drifted from the aggregate (a failed chunk
+// attempt) is discarded and reopened so the retry replays cleanly.
+func (r *plancensusRunner) ensureBuilder() error {
+	if r.b != nil {
+		if next, cur := r.b.Pos(); next == r.nextRank && cur == r.cursor {
+			return nil
+		}
+		r.b.Abort()
+		r.b = nil
+	}
+	b, err := artifact.OpenBuilderAt(r.path(), r.family.String(), r.params.Dims, r.params.MaxAxis,
+		r.planner.Fingerprint(), r.nextRank, r.cursor)
+	if err != nil {
+		return err
+	}
+	r.b = b
+	return nil
+}
+
+func (r *plancensusRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buffer) (uint64, error) {
+	if err := r.ensureBuilder(); err != nil {
+		return 0, err
+	}
+	c := chunk + 1
+	lo, hi := artifact.ChunkRange(r.params.Dims, c)
+	hist := map[string]uint64{}
+	var minimal uint64
+	var addErr error
+	artifact.EachShapeWithMax(r.params.Dims, c, func(s mesh.Shape) {
+		if addErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			addErr = err
+			return
+		}
+		p := r.planner.PlanGuest(r.family, s)
+		if err := r.b.Add(s, p); err != nil {
+			addErr = err
+			return
+		}
+		if p.Dilation == core.DilationUnknown {
+			hist["unknown"]++
+		} else {
+			hist[strconv.Itoa(p.Dilation)]++
+		}
+		if p.Minimal() {
+			minimal++
+		}
+	})
+	if addErr != nil {
+		return 0, addErr
+	}
+	if err := r.b.Flush(); err != nil {
+		return 0, err
+	}
+	next, cursor := r.b.Pos()
+	if next != hi {
+		return 0, fmt.Errorf("jobs: plancensus chunk %d wrote to rank %d, want %d", c, next, hi)
+	}
+	if err := writeRecord(buf, api.PlanCensusChunkRecord{
+		Type: api.RecordPlanCensusChunk, MaxAxisValue: c,
+		Records: hi - lo, RankLo: lo, RankHi: hi, StringBytes: cursor,
+	}); err != nil {
+		return 0, err
+	}
+	r.nextRank, r.cursor = next, cursor
+	for k, v := range hist {
+		r.hist[k] += v
+	}
+	r.minimal += minimal
+	return hi - lo, nil
+}
+
+func (r *plancensusRunner) finish(buf *bytes.Buffer, shapes uint64) error {
+	// Resuming directly into finish (killed between the last chunk and the
+	// summary) arrives with no open builder; reopen at the full position.
+	if err := r.ensureBuilder(); err != nil {
+		return err
+	}
+	hdr, err := r.b.Finalize()
+	r.b = nil
+	if err != nil {
+		return err
+	}
+	return writeRecord(buf, api.SummaryRecord{
+		Type: api.RecordSummary, Kind: api.JobPlanCensus,
+		Chunks: r.chunks(), Shapes: shapes,
+		Minimal: r.minimal, DilationHist: r.hist,
+		Artifact: &api.ArtifactInfo{
+			Records:     hdr.RecordCount,
+			StringBytes: hdr.StringBytes,
+			Bytes:       artifact.HeaderSize + hdr.RecordCount*artifact.RecordSize + hdr.StringBytes,
+			CRC32:       fmt.Sprintf("%08x", hdr.CRC),
+			Fingerprint: r.planner.Fingerprint(),
+		},
+	})
+}
+
+type plancensusAgg struct {
+	NextRank uint64            `json:"next_rank"`
+	Cursor   uint64            `json:"cursor"`
+	Hist     map[string]uint64 `json:"hist"`
+	Minimal  uint64            `json:"minimal"`
+}
+
+func (r *plancensusRunner) snapshot() (json.RawMessage, error) {
+	return json.Marshal(plancensusAgg{NextRank: r.nextRank, Cursor: r.cursor, Hist: r.hist, Minimal: r.minimal})
+}
+
+func (r *plancensusRunner) restore(agg json.RawMessage) error {
+	var a plancensusAgg
+	if err := json.Unmarshal(agg, &a); err != nil {
+		return err
+	}
+	if a.Hist == nil {
+		a.Hist = map[string]uint64{}
+	}
+	r.nextRank, r.cursor, r.hist, r.minimal = a.NextRank, a.Cursor, a.Hist, a.Minimal
+	return nil
+}
+
+// close releases the builder when a run stops without finishing (shutdown,
+// cancel, failure); the provisional header keeps the torn file invalid.
+func (r *plancensusRunner) close() {
+	if r.b != nil {
+		r.b.Abort()
+		r.b = nil
+	}
 }

@@ -91,6 +91,11 @@ func jobsError(err error) *apiError {
 		return &apiError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: err.Error()}
 	case errors.Is(err, jobs.ErrNotFound):
 		return &apiError{status: http.StatusNotFound, code: api.CodeNotFound, msg: err.Error()}
+	case errors.Is(err, jobs.ErrNotReady):
+		return &apiError{
+			status: http.StatusConflict, code: api.CodeNotReady,
+			msg: err.Error(), retryAfter: 2 * time.Second,
+		}
 	case errors.Is(err, jobs.ErrQueueFull):
 		return &apiError{
 			status: http.StatusTooManyRequests, code: api.CodeQueueFull,

@@ -78,6 +78,23 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleJobArtifact downloads a finished plancensus job's artifact file.
+// Before the job is done the endpoint answers 409 (the file on disk would
+// be torn or still growing); ServeFile gives clients range requests for
+// free, so an interrupted multi-hundred-MB download can resume.
+func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsManager(w, r) {
+		return
+	}
+	path, err := s.jobs.ArtifactPath(r.PathValue("id"))
+	if err != nil {
+		respondErr(w, r, jobsError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
+}
+
 // resultsPollInterval paces the long-poll loop in handleJobResults.  A
 // variable, not a constant, so tests can tighten it.
 var resultsPollInterval = 150 * time.Millisecond

@@ -102,6 +102,13 @@ type metrics struct {
 	inflight  atomic.Int64
 	shed      atomic.Uint64
 	coalesced atomic.Uint64
+	// Plan-resolution tier counters (see tiers.go): L0 result-cache hits,
+	// closed-form classifier claims, artifact lookups served, and full
+	// planner runs.
+	tierL0         atomic.Uint64
+	tierClosedForm atomic.Uint64
+	tierArtifact   atomic.Uint64
+	tierCompute    atomic.Uint64
 }
 
 func newMetrics() *metrics {

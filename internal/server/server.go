@@ -8,6 +8,7 @@
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job status and progress
 //	GET    /v1/jobs/{id}/results stream the job's NDJSON results (offset-resumable)
+//	GET    /v1/jobs/{id}/artifact download a finished plancensus job's artifact
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus text exposition
@@ -24,6 +25,12 @@
 // semaphore sheds excess load with 429 + Retry-After.  Computations are
 // detached from request contexts, so a timed-out leader still populates the
 // cache for its followers and for the retry.
+//
+// /v1/plan misses additionally walk the tier hierarchy of tiers.go — the
+// O(1) closed-form classifier and (when AttachArtifact has loaded one) the
+// mmap'd plan-census artifact — before paying for the planner, and
+// GET /v1/jobs/{id}/artifact downloads a finished plancensus job's artifact
+// file.
 //
 // Cache entries are computed on the canonical shape.  Every metric the API
 // serves is invariant under guest axis relabeling (the multiset of guest
@@ -43,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/guest"
@@ -124,13 +132,14 @@ func (c Config) withDefaults() Config {
 // concurrent use; plug Handler into an http.Server (whose Shutdown drains
 // in-flight requests — handlers never outlive their ResponseWriter).
 type Server struct {
-	cfg     Config
-	planner *core.Planner
-	cache   *lruCache
-	flights *flightGroup
-	sem     chan struct{}
-	m       *metrics
-	jobs    *jobs.Manager // nil until AttachJobs; jobs endpoints 503 without it
+	cfg      Config
+	planner  *core.Planner
+	cache    *lruCache
+	flights  *flightGroup
+	sem      chan struct{}
+	m        *metrics
+	jobs     *jobs.Manager      // nil until AttachJobs; jobs endpoints 503 without it
+	artifact *artifact.Artifact // nil until AttachArtifact; L1 plan tier (see tiers.go)
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -173,8 +182,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs-status", s.handleJobStatus))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs-cancel", s.handleJobCancel))
 	// The results stream long-polls until the job finishes, so it must not
-	// occupy an inflight slot or run under the request timeout.
+	// occupy an inflight slot or run under the request timeout; the artifact
+	// download can be hundreds of MB, so it too stays outside the timeout.
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleJobArtifact)
 	return mux
 }
 
@@ -428,18 +439,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// canonical-shape cache already de-duplicates the search across
 	// permutations, so the LRU key stays exact here.
 	key := "plan|" + famKey(fam) + sh.String()
+	// tier records which L0-miss tier produced the result; the flight leader
+	// reads it only after lookup returns (same safety argument as lookup's
+	// own computed flag).
+	var tier string
 	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
-		_, span := obs.Start(ctx, "plan")
-		p, err := s.planner.TryPlanGuest(fam, sh)
-		span.End()
-		if err != nil {
-			return nil, errBadRequest("%v", err)
-		}
-		return planResult(p), nil
+		res, t, err := s.resolvePlan(ctx, fam, sh)
+		tier = t
+		return res, err
 	})
 	if err != nil {
 		respondErr(w, r, err)
 		return
+	}
+	switch source {
+	case "computed":
+		source = tier // closed_form, artifact or computed
+	case "cache":
+		s.m.tierL0.Add(1)
 	}
 	meta.setSource(source)
 	resp := PlanResponse{
@@ -571,11 +588,9 @@ func (s *Server) computeEmbed(ctx context.Context, fam guest.Family, canon mesh.
 		span.End()
 		res = &cachedResult{cubeDim: e.N, dilBound: 1}
 	default:
-		_, pspan := obs.Start(ctx, "plan")
-		p, err := s.planner.TryPlanGuest(fam, canon)
-		pspan.End()
+		p, err := s.planFor(ctx, fam, canon)
 		if err != nil {
-			return nil, errBadRequest("%v", err)
+			return nil, err
 		}
 		res = planResult(p)
 		_, bspan := obs.Start(ctx, "build")
@@ -675,12 +690,10 @@ func (s *Server) computeCompare(ctx context.Context, fam guest.Family, canon mes
 		"gray":  gr,
 		"snake": sn,
 	}
-	_, pspan := obs.Start(bctx, "plan")
-	p, err := s.planner.TryPlanGuest(fam, canon)
-	pspan.End()
+	p, err := s.planFor(bctx, fam, canon)
 	if err != nil {
 		bspan.End()
-		return nil, errBadRequest("%v", err)
+		return nil, err
 	}
 	es["decomposition"] = p.Build()
 	if fam == guest.Mesh && canon.Dims() == 2 {
@@ -746,6 +759,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "embedserver_plan_cache_hits_total", help: "Planner plan-cache hits.", kind: "counter", value: float64(ps.Hits)},
 		{name: "embedserver_plan_cache_misses_total", help: "Planner plan-cache misses.", kind: "counter", value: float64(ps.Misses)},
 		{name: "embedserver_plan_cache_entries", help: "Planner plan-cache current size.", kind: "gauge", value: float64(ps.Size)},
+		{name: "embedserver_plan_tier_l0_total", help: "Plan requests served from the in-memory result cache (L0).", kind: "counter", value: float64(s.m.tierL0.Load())},
+		{name: "embedserver_plan_tier_closed_form_total", help: "Plan resolutions answered by the O(1) closed-form classifier.", kind: "counter", value: float64(s.m.tierClosedForm.Load())},
+		{name: "embedserver_plan_tier_artifact_total", help: "Plan resolutions answered by the mmap'd plan-census artifact (L1).", kind: "counter", value: float64(s.m.tierArtifact.Load())},
+		{name: "embedserver_plan_tier_compute_total", help: "Plan resolutions that ran the full decomposition planner (L2).", kind: "counter", value: float64(s.m.tierCompute.Load())},
+	}
+	if s.artifact != nil {
+		ah := s.artifact.Header()
+		gauges = append(gauges,
+			gauge{name: "embedserver_plan_artifact_records", help: "Records in the attached plan-census artifact.", kind: "gauge", value: float64(ah.RecordCount)},
+		)
 	}
 	if s.jobs != nil {
 		js := s.jobs.Stats()

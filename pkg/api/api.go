@@ -78,7 +78,14 @@ type PlanRequest struct {
 	Family string `json:"family,omitempty"`
 }
 
-// PlanResponse is the /v1/plan reply.
+// PlanResponse is the /v1/plan reply.  Source reports which tier of the
+// server's plan hierarchy produced the result: "cache" (the in-memory L0
+// result cache), "coalesced" (joined another request's in-flight
+// computation), "closed_form" (the O(1) classifier proved the plan
+// analytically), "artifact" (the precomputed plan-census artifact loaded
+// with -plan-artifact) or "computed" (the full decomposition planner).
+// /v1/embed and /v1/compare report only cache/coalesced/computed — their
+// cost is dominated by building and measuring, not planning.
 type PlanResponse struct {
 	Version       int        `json:"version"`
 	Shape         string     `json:"shape"`

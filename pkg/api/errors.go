@@ -16,6 +16,10 @@ const (
 	CodeShapeTooLarge ErrorCode = "shape_too_large"
 	// CodeNotFound (404): no such job.
 	CodeNotFound ErrorCode = "not_found"
+	// CodeNotReady (409): the requested job output (a plancensus artifact)
+	// does not exist yet because the job has not finished; retry after
+	// RetryAfterMS or poll the job status.
+	CodeNotReady ErrorCode = "not_ready"
 	// CodeOverCapacity (429): the concurrency limiter shed the request;
 	// retry after RetryAfterMS.
 	CodeOverCapacity ErrorCode = "over_capacity"

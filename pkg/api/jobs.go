@@ -37,6 +37,13 @@ const (
 	// (plan, method, dilation bound, and for 3-D shapes the analytic
 	// per-method-prefix relative expansions).
 	JobPlanSweep JobKind = "plansweep"
+	// JobPlanCensus plans every canonical shape of the family within the
+	// axis bound and writes the plans into a compact, versioned, mmap-able
+	// artifact file (internal/artifact) the server can load with
+	// -plan-artifact to answer /v1/plan misses in O(1).  One chunk (and
+	// one NDJSON record) per largest-axis value; the artifact itself is
+	// downloaded via GET /v1/jobs/{id}/artifact once the job is done.
+	JobPlanCensus JobKind = "plancensus"
 )
 
 // JobState is a job's lifecycle state.  Transitions: queued → running →
@@ -65,10 +72,11 @@ type JobSubmitRequest struct {
 	// Workers bounds the per-chunk parallelism (values below one mean the
 	// server's default).  Chunks themselves always run sequentially — that
 	// is what makes the record stream and the checkpoints deterministic.
-	Workers   int              `json:"workers,omitempty"`
-	Census    *CensusParams    `json:"census,omitempty"`
-	Epsilon   *EpsilonParams   `json:"epsilon,omitempty"`
-	PlanSweep *PlanSweepParams `json:"plansweep,omitempty"`
+	Workers    int               `json:"workers,omitempty"`
+	Census     *CensusParams     `json:"census,omitempty"`
+	Epsilon    *EpsilonParams    `json:"epsilon,omitempty"`
+	PlanSweep  *PlanSweepParams  `json:"plansweep,omitempty"`
+	PlanCensus *PlanCensusParams `json:"plancensus,omitempty"`
 }
 
 // CensusParams parameterizes a census job: axes range over 1..2^MaxN
@@ -92,6 +100,16 @@ type PlanSweepParams struct {
 	MaxAxis  int    `json:"max_axis"`
 	MaxNodes int    `json:"max_nodes"`
 	Family   string `json:"family,omitempty"`
+}
+
+// PlanCensusParams parameterizes a plancensus job: every canonical
+// (ascending-sorted) shape of the family with Dims axes each in 1..MaxAxis
+// is planned and written to the artifact.  Family empty means "mesh"; only
+// the fully-sorted-canonical families (mesh, torus) are rankable.
+type PlanCensusParams struct {
+	Dims    int    `json:"dims"`
+	MaxAxis int    `json:"max_axis"`
+	Family  string `json:"family,omitempty"`
 }
 
 // JobProgress is the live progress block of a job status.
@@ -141,11 +159,12 @@ type JobListResponse struct {
 
 // NDJSON result-record discriminators (the "type" field of every line).
 const (
-	RecordCensusShard = "census_shard"
-	RecordCensusRow   = "census_row"
-	RecordEpsilonRow  = "epsilon_row"
-	RecordPlan        = "plan"
-	RecordSummary     = "summary"
+	RecordCensusShard     = "census_shard"
+	RecordCensusRow       = "census_row"
+	RecordEpsilonRow      = "epsilon_row"
+	RecordPlan            = "plan"
+	RecordPlanCensusChunk = "plancensus_chunk"
+	RecordSummary         = "summary"
 )
 
 // CensusBucket is one domain bucket of a census shard: the tallies over
@@ -206,6 +225,32 @@ type PlanRecord struct {
 	RelExpansion []float64 `json:"rel_expansion,omitempty"`
 }
 
+// PlanCensusChunkRecord is one plancensus chunk's line: the shapes whose
+// largest axis is exactly MaxAxisValue, appended to the artifact as ranks
+// [RankLo, RankHi).
+type PlanCensusChunkRecord struct {
+	Type         string `json:"type"` // RecordPlanCensusChunk
+	MaxAxisValue int    `json:"max_axis_value"`
+	Records      uint64 `json:"records"`
+	RankLo       uint64 `json:"rank_lo"`
+	RankHi       uint64 `json:"rank_hi"`
+	// StringBytes is the cumulative plan-string section size after this
+	// chunk (the builder's resume cursor).
+	StringBytes uint64 `json:"string_bytes"`
+}
+
+// ArtifactInfo summarizes the artifact a plancensus job produced.
+type ArtifactInfo struct {
+	Records     uint64 `json:"records"`
+	StringBytes uint64 `json:"string_bytes"`
+	Bytes       uint64 `json:"bytes"`
+	CRC32       string `json:"crc32"` // IEEE CRC-32 of the body, hex
+	// Fingerprint is the planner option fingerprint the plans were
+	// computed under (core.Planner.Fingerprint); a server only serves an
+	// artifact whose fingerprint matches its own planner.
+	Fingerprint string `json:"fingerprint"`
+}
+
 // SummaryRecord is the final line of every result stream.
 type SummaryRecord struct {
 	Type   string  `json:"type"` // RecordSummary
@@ -215,9 +260,11 @@ type SummaryRecord struct {
 	// Exceptions is the census's count of shapes with no ε = 1 method in
 	// the full domain.
 	Exceptions uint64 `json:"exceptions,omitempty"`
-	// DilationHist maps dilation bound → shape count for plansweep
-	// ("unknown" keys the snake fallback); Minimal counts shapes whose plan
-	// reaches the minimal cube.
+	// DilationHist maps dilation bound → shape count for plansweep and
+	// plancensus ("unknown" keys the snake fallback); Minimal counts
+	// shapes whose plan reaches the minimal cube.
 	DilationHist map[string]uint64 `json:"dilation_hist,omitempty"`
 	Minimal      uint64            `json:"minimal,omitempty"`
+	// Artifact describes the plancensus job's artifact file.
+	Artifact *ArtifactInfo `json:"artifact,omitempty"`
 }

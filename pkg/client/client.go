@@ -305,6 +305,51 @@ func (c *Client) JobResults(ctx context.Context, id string, offset int64) (io.Re
 	}
 }
 
+// JobArtifact opens the plan-census artifact of a finished plancensus job
+// as a download stream (the raw internal/artifact file bytes).  Before the
+// job finishes the server answers 409 not_ready, returned as a *api.Error
+// without retrying — poll with WatchJob first, or back off on the error's
+// RetryAfterMS.  The caller must Close the reader.
+func (c *Client) JobArtifact(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/artifact", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp.Body, nil
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return nil, decodeError(resp, data)
+}
+
+// RawMetrics fetches the server's Prometheus text exposition verbatim —
+// callers (embedctl bench) diff counters like embedserver_plan_tier_*_total
+// across a run.
+func (c *Client) RawMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp, data)
+	}
+	return string(data), nil
+}
+
 // WatchJob polls a job until it reaches a terminal state, invoking fn on
 // every status observed (including the terminal one).  fn may be nil.  It
 // returns the terminal status; the error reports polling failures, not job

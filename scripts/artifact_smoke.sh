@@ -1,0 +1,78 @@
+#!/bin/sh
+# artifact_smoke.sh — end-to-end check of the plan-artifact tier chain:
+# build a small artifact with `embedctl artifact build`, inspect and verify
+# it, boot embedserver -plan-artifact on it, and require /v1/plan to answer
+# from the artifact / closed-form tiers (with the /metrics counters to
+# prove it).  Backs the `make artifact-smoke` target (part of `make check`).
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+
+"$GO" build -o "$tmp/embedserver" ./cmd/embedserver
+"$GO" build -o "$tmp/embedctl" ./cmd/embedctl
+
+# Build a small mesh artifact (3-D, axes <= 12: 364 records), then inspect
+# and verify every record against a fresh planner.
+"$tmp/embedctl" artifact build -o "$tmp/plans.art" -dims 3 -max-axis 12 2>"$tmp/build.log" ||
+    { echo "artifact-smoke: build failed:"; cat "$tmp/build.log"; exit 1; }
+
+"$tmp/embedctl" artifact inspect "$tmp/plans.art" >"$tmp/inspect.txt"
+grep -q 'family: *mesh' "$tmp/inspect.txt" || { echo "artifact-smoke: bad inspect:"; cat "$tmp/inspect.txt"; exit 1; }
+grep -q 'complete: *true' "$tmp/inspect.txt" || { echo "artifact-smoke: artifact not complete:"; cat "$tmp/inspect.txt"; exit 1; }
+
+"$tmp/embedctl" artifact verify -sample 0 "$tmp/plans.art" >"$tmp/verify.txt" ||
+    { echo "artifact-smoke: verify failed:"; cat "$tmp/verify.txt"; exit 1; }
+grep -q '^ok:' "$tmp/verify.txt" || { echo "artifact-smoke: bad verify output:"; cat "$tmp/verify.txt"; exit 1; }
+
+# Serve it.
+"$tmp/embedserver" -addr 127.0.0.1:0 -plan-artifact "$tmp/plans.art" >"$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^embedserver: listening on //p' "$tmp/log" | head -n 1)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "artifact-smoke: server died:"; cat "$tmp/log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "artifact-smoke: server never bound:"; cat "$tmp/log"; exit 1; }
+grep -q '^embedserver: plan artifact ' "$tmp/log" || { echo "artifact-smoke: artifact not announced:"; cat "$tmp/log"; exit 1; }
+
+# 5x6x7 is in the artifact's domain and not closed-form (not Gray-minimal):
+# it must be served from the artifact tier.
+curl -fsS -X POST -d '{"shape":"5x6x7"}' "http://$addr/v1/plan" >"$tmp/plan1.json"
+grep -q '"source": "artifact"' "$tmp/plan1.json" || { echo "artifact-smoke: expected artifact source: $(cat "$tmp/plan1.json")"; exit 1; }
+
+# 4x8x16 is all powers of two: the closed-form classifier answers before the
+# artifact is ever consulted.
+curl -fsS -X POST -d '{"shape":"4x8x16"}' "http://$addr/v1/plan" >"$tmp/plan2.json"
+grep -q '"source": "closed_form"' "$tmp/plan2.json" || { echo "artifact-smoke: expected closed_form source: $(cat "$tmp/plan2.json")"; exit 1; }
+
+# 5x6x13 exceeds max-axis 12: out of the artifact's domain, L2 computes it.
+curl -fsS -X POST -d '{"shape":"5x6x13"}' "http://$addr/v1/plan" >"$tmp/plan3.json"
+grep -q '"source": "computed"' "$tmp/plan3.json" || { echo "artifact-smoke: expected computed source: $(cat "$tmp/plan3.json")"; exit 1; }
+
+# Repeat of the first request: the L0 result cache answers.
+curl -fsS -X POST -d '{"shape":"5x6x7"}' "http://$addr/v1/plan" >"$tmp/plan4.json"
+grep -q '"source": "cache"' "$tmp/plan4.json" || { echo "artifact-smoke: expected cache source: $(cat "$tmp/plan4.json")"; exit 1; }
+
+# The per-tier counters must agree with the four requests above.
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+for want in \
+    'embedserver_plan_tier_l0_total 1' \
+    'embedserver_plan_tier_closed_form_total 1' \
+    'embedserver_plan_tier_artifact_total 1' \
+    'embedserver_plan_tier_compute_total 1' \
+    'embedserver_plan_artifact_records 364'; do
+    grep -q "^$want\$" "$tmp/metrics.txt" ||
+        { echo "artifact-smoke: missing metric '$want':"; grep '^embedserver_plan_' "$tmp/metrics.txt"; exit 1; }
+done
+
+kill -TERM "$pid"
+wait "$pid" || { echo "artifact-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }
+pid=""
+echo "artifact-smoke: ok ($addr)"
