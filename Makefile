@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke
 
-check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke
+check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke
 
 # Regenerate the enumgen boilerplate (strategy names, plan kinds, guest
 # families).
@@ -39,7 +39,7 @@ test:
 # checkpointing runners), the client SDK, the span tracer (concurrent child
 # registration), and the root facade's shared default planner.
 race:
-	$(GO) test -race ./internal/core ./internal/embed ./internal/jobs ./internal/obs ./internal/server ./internal/simnet ./internal/stats ./internal/sweep ./pkg/client .
+	$(GO) test -race ./internal/core ./internal/embed ./internal/fabric ./internal/jobs ./internal/obs ./internal/server ./internal/simnet ./internal/stats ./internal/sweep ./pkg/client .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -56,17 +56,21 @@ bench-short:
 # vs uncached /v1/embed via httptest), the PR 4 observability overhead
 # pairs (Measure vs MeasureTraced, cached handler vs tracing-off vs
 # ?debug=trace), the PR 5 batch-job end-to-end throughput (submit →
-# chunks → checkpoints → finish, reported as shapes/sec) and the PR 7 plan
+# chunks → checkpoints → finish, reported as shapes/sec), the PR 7 plan
 # tiers (closed-form classifier, census-mode classification throughput,
 # artifact lookup, and the resolver-level closed_form / artifact / compute
-# split); see EXPERIMENTS.md for the recorded numbers.
+# split), and the PR 8 fabric dispatch scaling (coordinator chunk throughput
+# against 1/2/4 fixed-service-time peers — the peers=2/peers=1 chunks/sec
+# ratio is the 2-worker scaling factor); see EXPERIMENTS.md for the recorded
+# numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler|BenchmarkPlanTier' -benchmem ./internal/server; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkClassify' -benchmem ./internal/core; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDispatch' ./internal/fabric; \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/artifact; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	  | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.
@@ -92,6 +96,13 @@ jobs-smoke:
 # (with the per-tier /metrics counters to prove it).
 artifact-smoke:
 	sh scripts/artifact_smoke.sh
+
+# End-to-end check of the distributed sweep fabric: coordinator + two worker
+# embedservers over a shared secret, a -distributed census sharded across
+# them, one worker SIGKILLed mid-run, and the folded result stream compared
+# byte-for-byte against a single-node run.
+fabric-smoke:
+	sh scripts/fabric_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

@@ -63,7 +63,7 @@ func jobUsage() {
 	fmt.Fprintf(os.Stderr, `usage:
   embedctl job submit [-addr URL] -kind census|epsilon|plansweep|plancensus
                       [-max-n N] [-dims K] [-max-axis L] [-max-nodes M]
-                      [-family F] [-workers W] [-watch]
+                      [-family F] [-workers W] [-distributed] [-watch]
   embedctl job status  [-addr URL] <id>
   embedctl job watch   [-addr URL] <id>
   embedctl job results [-addr URL] [-offset B] <id>
@@ -144,12 +144,13 @@ func jobSubmit(ctx context.Context, args []string) {
 	maxNodes := fs.Int("max-nodes", 1<<12, "plansweep node bound")
 	family := fs.String("family", "", "plansweep/plancensus guest family (default mesh)")
 	workers := fs.Int("workers", 0, "per-chunk worker bound (0: server default)")
+	distributed := fs.Bool("distributed", false, "shard chunks across the server's fabric peers (server must run with -fabric-secret)")
 	watch := fs.Bool("watch", false, "watch progress until the job finishes")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		jobUsage()
 	}
-	req := api.JobSubmitRequest{Kind: api.JobKind(*kind), Workers: *workers}
+	req := api.JobSubmitRequest{Kind: api.JobKind(*kind), Workers: *workers, Distributed: *distributed}
 	switch req.Kind {
 	case api.JobCensus:
 		req.Census = &api.CensusParams{MaxN: *maxN}

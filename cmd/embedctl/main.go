@@ -55,6 +55,10 @@ func usage() {
                                         drive batch-sweep jobs on a running
                                         embedserver (run "embedctl job" for
                                         the full flag list)
+  embedctl peers [join]                 list a running embedserver's fabric
+                                        peers, or register a worker with a
+                                        coordinator (run "embedctl peers -h"
+                                        for flags)
   embedctl artifact build|inspect|verify
                                         build, inspect and verify the
                                         plan-census artifacts served by
@@ -95,6 +99,8 @@ func main() {
 		cmdBench(args)
 	case "job":
 		cmdJob(args)
+	case "peers":
+		cmdPeers(args)
 	case "artifact":
 		cmdArtifact(args)
 	case "explain":

@@ -40,6 +40,20 @@
 //	-job-workers N                     default per-chunk worker bound
 //	-checkpoint-every N                chunks between checkpoints
 //
+// Distributed sweep fabric:
+//
+//	-fabric-secret S                   join the fabric trust domain: serve
+//	                                   POST /v1/internal/chunks (worker mode)
+//	                                   and accept peer registrations, all
+//	                                   guarded by the shared secret
+//	-peers URL,URL,...                 coordinator mode: dispatch distributed
+//	                                   job chunks to these embedserver peers
+//	-join URL                          register this server with a running
+//	                                   coordinator (requires -advertise)
+//	-advertise URL                     the base URL peers should dial to
+//	                                   reach this server
+//	-fabric-inflight N                 concurrently executing chunks per peer
+//
 // The server prints "embedserver: listening on HOST:PORT" once the listener
 // is bound (so -addr :0 is scriptable) and drains in-flight requests on
 // SIGINT/SIGTERM before exiting; running jobs checkpoint and park as queued
@@ -61,10 +75,16 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"repro/internal/artifact"
+	"repro/internal/fabric"
+	"repro/internal/fabric/fabrichttp"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -85,6 +105,11 @@ func main() {
 	jobRunners := flag.Int("job-runners", 1, "concurrent job executors")
 	jobWorkers := flag.Int("job-workers", 0, "default per-chunk worker bound for jobs (<1: GOMAXPROCS)")
 	checkpointEvery := flag.Int("checkpoint-every", 8, "chunks between job checkpoints")
+	fabricSecret := flag.String("fabric-secret", "", "shared secret enabling the fabric endpoints (worker chunk execution and peer registration)")
+	peersFlag := flag.String("peers", "", "comma-separated embedserver base URLs to dispatch distributed job chunks to")
+	joinURL := flag.String("join", "", "coordinator base URL to register this server with (requires -advertise)")
+	advertise := flag.String("advertise", "", "base URL peers should dial to reach this server")
+	fabricInflight := flag.Int("fabric-inflight", 2, "concurrently executing chunks per fabric peer")
 	flag.Parse()
 
 	obs.SetEnabled(*tracing)
@@ -109,11 +134,12 @@ func main() {
 	}
 
 	s := server.New(server.Config{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		MaxInflight: *maxInflight,
-		Timeout:     *timeout,
-		Logger:      logger,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		MaxInflight:  *maxInflight,
+		Timeout:      *timeout,
+		Logger:       logger,
+		FabricSecret: *fabricSecret,
 	})
 	if *planArtifact != "" {
 		a, err := artifact.Open(*planArtifact)
@@ -129,6 +155,39 @@ func main() {
 		fmt.Printf("embedserver: plan artifact %s (%s, %dd, axes ≤%d, %d records)\n",
 			*planArtifact, hdr.Family, hdr.Dims, hdr.MaxAxis, hdr.RecordCount)
 	}
+	if (*peersFlag != "" || *joinURL != "") && *fabricSecret == "" {
+		fmt.Fprintln(os.Stderr, "embedserver: -peers/-join require -fabric-secret")
+		os.Exit(2)
+	}
+	if *joinURL != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "embedserver: -join requires -advertise (the URL the coordinator should dial back)")
+		os.Exit(2)
+	}
+	var pool *fabric.Pool
+	if *fabricSecret != "" {
+		// The local loopback executes chunks in-process through the same
+		// entry point the HTTP worker endpoint uses, so a coordinator that
+		// loses every worker keeps folding byte-identical results.
+		pool = fabric.NewPool(fabric.Config{
+			Dial: fabrichttp.Dialer(*fabricSecret),
+			Local: fabric.Loopback(func(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error) {
+				return jobs.ExecuteChunk(ctx, req, *jobWorkers, s.Planner())
+			}),
+			InFlightPerPeer: *fabricInflight,
+			Logger:          logger,
+		})
+		for _, addr := range strings.Split(*peersFlag, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if err := pool.Add(addr); err != nil {
+				fmt.Fprintln(os.Stderr, "embedserver: fabric:", err)
+				os.Exit(2)
+			}
+		}
+		s.AttachFabric(pool)
+		fmt.Printf("embedserver: fabric enabled (%d remote peers)\n", len(pool.Peers())-1)
+	}
 	var jobMgr *jobs.Manager
 	if *dataDir != "" {
 		var err error
@@ -139,6 +198,7 @@ func main() {
 			DefaultWorkers:  *jobWorkers,
 			CheckpointEvery: *checkpointEvery,
 			Planner:         s.Planner(), // jobs warm the serving path's plan cache
+			Fabric:          pool,        // nil unless -fabric-secret: distributed jobs rejected
 			Logger:          logger,
 		})
 		if err != nil {
@@ -154,6 +214,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("embedserver: listening on %s\n", ln.Addr())
+
+	if *joinURL != "" {
+		// Register with the coordinator only after the listener is bound, so
+		// the coordinator's first health probe of the advertised address can
+		// succeed.  The client retries refused connections with backoff, so
+		// "worker starts a moment before the coordinator" also works.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			c := client.New(*joinURL, client.WithSecret(*fabricSecret), client.WithRetries(5))
+			if _, err := c.JoinPeer(ctx, *advertise); err != nil {
+				fmt.Fprintf(os.Stderr, "embedserver: fabric join %s failed: %v\n", *joinURL, err)
+				return
+			}
+			fmt.Printf("embedserver: joined fabric at %s as %s\n", *joinURL, *advertise)
+		}()
+	}
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
@@ -205,6 +282,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "embedserver: jobs shutdown:", err)
 				os.Exit(1)
 			}
+		}
+		if pool != nil {
+			pool.Close()
 		}
 	}
 }

@@ -174,26 +174,42 @@ func DecodeRecord(b []byte) (rec Rec, strOff uint64, strLen int, ok bool, err er
 	return rec, uint64(binary.LittleEndian.Uint32(b[8:12])), int(binary.LittleEndian.Uint16(b[6:8])), true, nil
 }
 
-// encodeRecord renders a plan into the 16 fixed record bytes.
-func encodeRecord(p *core.Plan, strOff uint64, strLen int) ([]byte, error) {
-	b := make([]byte, RecordSize)
-	if p.Kind < 0 || int(p.Kind) > 0xFF {
-		return nil, fmt.Errorf("artifact: plan kind %d out of range", p.Kind)
-	}
+// RecFromPlan normalizes a plan into its record form — the same
+// normalization Add has always applied before encoding: DilationUnknown
+// becomes -1, Minimal() is materialized, Plan is the serialized plan
+// string.  A Rec is position-independent (no string offsets), which is
+// what lets a distributed plancensus worker ship records for the
+// coordinator's builder to replay byte-identically.
+func RecFromPlan(p *core.Plan) Rec {
 	dil := p.Dilation
+	if dil == core.DilationUnknown {
+		dil = -1
+	}
+	return Rec{
+		Kind: p.Kind, Method: p.Method, Dilation: dil,
+		CubeDim: p.CubeDim, Minimal: p.Minimal(), Plan: p.String(),
+	}
+}
+
+// encodeRec renders a record into the 16 fixed record bytes.
+func encodeRec(rec Rec, strOff uint64, strLen int) ([]byte, error) {
+	b := make([]byte, RecordSize)
+	if rec.Kind < 0 || int(rec.Kind) > 0xFF {
+		return nil, fmt.Errorf("artifact: plan kind %d out of range", rec.Kind)
+	}
 	switch {
-	case dil == core.DilationUnknown:
+	case rec.Dilation == -1:
 		b[2] = dilationNone
-	case dil < 0 || dil >= dilationNone:
-		return nil, fmt.Errorf("artifact: dilation bound %d out of range", dil)
+	case rec.Dilation < 0 || rec.Dilation >= dilationNone:
+		return nil, fmt.Errorf("artifact: dilation bound %d out of range", rec.Dilation)
 	default:
-		b[2] = byte(dil)
+		b[2] = byte(rec.Dilation)
 	}
-	if p.CubeDim < 0 || p.CubeDim > 0xFF {
-		return nil, fmt.Errorf("artifact: cube dimension %d out of range", p.CubeDim)
+	if rec.CubeDim < 0 || rec.CubeDim > 0xFF {
+		return nil, fmt.Errorf("artifact: cube dimension %d out of range", rec.CubeDim)
 	}
-	if p.Method < 0 || p.Method > 0xFF {
-		return nil, fmt.Errorf("artifact: method %d out of range", p.Method)
+	if rec.Method < 0 || rec.Method > 0xFF {
+		return nil, fmt.Errorf("artifact: method %d out of range", rec.Method)
 	}
 	if strLen > 0xFFFF {
 		return nil, fmt.Errorf("artifact: plan string of %d bytes exceeds the record limit", strLen)
@@ -201,14 +217,14 @@ func encodeRecord(p *core.Plan, strOff uint64, strLen int) ([]byte, error) {
 	if strOff > 0xFFFFFFFF {
 		return nil, fmt.Errorf("artifact: string section exceeds 4 GiB")
 	}
-	b[0] = byte(p.Kind)
-	b[1] = byte(p.Method)
+	b[0] = byte(rec.Kind)
+	b[1] = byte(rec.Method)
 	flags := byte(recPresent)
-	if p.Minimal() {
+	if rec.Minimal {
 		flags |= recMinimal
 	}
 	b[3] = flags
-	b[4] = byte(p.CubeDim)
+	b[4] = byte(rec.CubeDim)
 	binary.LittleEndian.PutUint16(b[6:8], uint16(strLen))
 	binary.LittleEndian.PutUint32(b[8:12], uint32(strOff))
 	return b, nil
@@ -285,25 +301,32 @@ func (b *Builder) Pos() (nextRank, cursor uint64) { return b.next, b.cursor }
 // Add writes the plan record for the next shape in rank order.  The shape
 // must be the canonical shape of rank Pos() — the builder verifies it.
 func (b *Builder) Add(s mesh.Shape, p *core.Plan) error {
+	return b.AddRec(s, RecFromPlan(p))
+}
+
+// AddRec writes an already-normalized record for the next shape in rank
+// order — the replay path of a distributed plancensus fold, where the plan
+// was computed on a worker and shipped as a Rec.  Byte-for-byte equivalent
+// to Add of the plan it came from.
+func (b *Builder) AddRec(s mesh.Shape, rec Rec) error {
 	if err := CheckShape(s, b.hdr.Dims, b.hdr.MaxAxis); err != nil {
 		return err
 	}
 	if r := Rank(s); r != b.next {
 		return fmt.Errorf("artifact: shape %s has rank %d, builder expects %d", s, r, b.next)
 	}
-	str := p.String()
-	rec, err := encodeRecord(p, b.cursor, len(str))
+	enc, err := encodeRec(rec, b.cursor, len(rec.Plan))
 	if err != nil {
 		return err
 	}
-	if _, err := b.f.WriteAt(rec, int64(HeaderSize+b.next*RecordSize)); err != nil {
+	if _, err := b.f.WriteAt(enc, int64(HeaderSize+b.next*RecordSize)); err != nil {
 		return err
 	}
-	if _, err := b.f.WriteAt([]byte(str), int64(b.strBase+b.cursor)); err != nil {
+	if _, err := b.f.WriteAt([]byte(rec.Plan), int64(b.strBase+b.cursor)); err != nil {
 		return err
 	}
 	b.next++
-	b.cursor += uint64(len(str))
+	b.cursor += uint64(len(rec.Plan))
 	return nil
 }
 

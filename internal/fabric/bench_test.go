@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// BenchmarkDispatch measures coordinator chunk throughput against peers
+// with a fixed per-chunk service time — the coordinator's view of a remote
+// worker, where chunk execution is wall-clock wait on another machine, not
+// local CPU.  The peers=2 / peers=1 chunks/sec ratio is the fabric's
+// scaling factor: with InFlightPerPeer=1 an ideal dispatcher doubles
+// throughput, and anything the scheduler wastes between completion and the
+// next launch shows up as a ratio below 2.
+func BenchmarkDispatch(b *testing.B) {
+	for _, peers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			benchmarkDispatch(b, peers)
+		})
+	}
+}
+
+func benchmarkDispatch(b *testing.B, peers int) {
+	const (
+		serviceTime = 2 * time.Millisecond
+		totalChunks = 64
+	)
+	transports := make(map[string]*fakeTransport, peers)
+	for i := 0; i < peers; i++ {
+		transports[fmt.Sprintf("worker-%d", i)] = &fakeTransport{
+			delay: func(int) time.Duration { return serviceTime },
+		}
+	}
+	pool := NewPool(Config{
+		Dial:            func(addr string) Transport { return transports[addr] },
+		InFlightPerPeer: 1,
+		HealthEvery:     -1,
+	})
+	defer pool.Close()
+	for addr := range transports {
+		if err := pool.Add(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDispatch(pool, api.JobSubmitRequest{Kind: api.JobCensus}, totalChunks)
+		folded := 0
+		err := d.Run(ctx, 0, func(*api.ChunkResult) error {
+			folded++
+			return nil
+		})
+		if err != nil || folded != totalChunks {
+			b.Fatalf("run %d: folded %d/%d chunks, err %v", i, folded, totalChunks, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalChunks*b.N)/b.Elapsed().Seconds(), "chunks/sec")
+}

@@ -1,0 +1,39 @@
+// Package fabrichttp is the wire transport of the sweep fabric: it dials
+// worker peers through the pkg/client SDK, authenticating with the fabric
+// shared secret.
+//
+// It lives outside internal/fabric on purpose.  fabric is imported by the
+// jobs layer, and pkg/client's tests stand up a full server (which imports
+// jobs) — so a client import inside fabric would close an import cycle in
+// the client test build.  Keeping the HTTP transport one package out keeps
+// fabric's import set at pkg/api alone.
+package fabrichttp
+
+import (
+	"context"
+
+	"repro/internal/fabric"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// Dialer returns a fabric.Dialer producing pkg/client-backed transports
+// that authenticate with the fabric shared secret.  Extra client options
+// (test http.Clients, tighter retry budgets) apply to every dialed peer.
+func Dialer(secret string, opts ...client.Option) fabric.Dialer {
+	return func(addr string) fabric.Transport {
+		all := append([]client.Option{client.WithSecret(secret)}, opts...)
+		return transport{c: client.New(addr, all...)}
+	}
+}
+
+type transport struct{ c *client.Client }
+
+func (t transport) Execute(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error) {
+	return t.c.ExecuteChunk(ctx, req)
+}
+
+func (t transport) Healthy(ctx context.Context) error {
+	_, err := t.c.Healthz(ctx)
+	return err
+}

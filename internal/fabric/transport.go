@@ -1,0 +1,56 @@
+// Package fabric is the distributed sweep fabric: a coordinator-side
+// dispatcher that shards a job's chunk range across worker embedserver
+// peers and folds the results back strictly in chunk-index order, so a
+// distributed run is byte-identical to a single-node run of the same job.
+//
+// The package is split along the dispatch/transport seam (the decoupled-bus
+// idiom): the scheduler (Dispatch) talks only to the Transport interface.
+// The HTTP transport over the pkg/client SDK lives in the fabrichttp
+// subpackage; an in-process Loopback transport runs chunks through an
+// injected executor, which is what makes the byte-identity and kill-resume
+// tests hermetic — and what lets a coordinator with zero live peers degrade
+// to local execution instead of stalling.
+//
+// fabric deliberately imports only pkg/api.  The jobs layer imports fabric
+// (never the reverse), and pkg/client's own tests exercise the jobs layer —
+// so the client-backed transport must sit one package out (fabrichttp) or
+// the test build becomes an import cycle.  The in-process executor behind
+// Loopback is injected as a function for the same reason.
+package fabric
+
+import (
+	"context"
+
+	"repro/pkg/api"
+)
+
+// Transport executes chunks on one peer.  Implementations must be safe for
+// concurrent use; Execute must be side-effect free from the coordinator's
+// point of view (the dispatcher freely re-executes a chunk elsewhere after
+// a failure, deduping at fold time).
+type Transport interface {
+	// Execute runs exactly one chunk and returns its deterministic output.
+	Execute(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error)
+	// Healthy probes the peer's liveness (the pool's health loop).
+	Healthy(ctx context.Context) error
+}
+
+// Dialer turns a peer address into a Transport.  It must not block on the
+// network — dialing is lazy, failures surface on first use.
+type Dialer func(addr string) Transport
+
+// ExecFunc is an in-process chunk executor (jobs.ExecuteChunk, or a test
+// stub) behind a Loopback transport.
+type ExecFunc func(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error)
+
+// Loopback returns a Transport that executes chunks in-process via fn.  It
+// is always healthy.
+func Loopback(fn ExecFunc) Transport { return loopback{fn} }
+
+type loopback struct{ fn ExecFunc }
+
+func (l loopback) Execute(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error) {
+	return l.fn(ctx, req)
+}
+
+func (l loopback) Healthy(context.Context) error { return nil }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/pkg/api"
 )
@@ -93,6 +94,11 @@ type Config struct {
 	// Planner, when set, is shared with the plansweep jobs (the server
 	// passes its own so job planning warms the same plan cache).
 	Planner *core.Planner
+	// Fabric, when set, enables distributed jobs: submissions with
+	// "distributed": true shard their chunk range across the pool's peers
+	// (falling back to runBody — byte-identically — if a resumed job finds
+	// no pool configured).
+	Fabric *fabric.Pool
 	// Logger receives job lifecycle records; nil means slog.Default().
 	Logger *slog.Logger
 
@@ -160,6 +166,9 @@ type job struct {
 	etaMS        int64
 	cancelled    bool
 	cancelRun    context.CancelCauseFunc
+	// dispatch is the live fabric dispatcher while a distributed run is in
+	// flight; status reads it for the per-peer Fabric block.
+	dispatch *fabric.Dispatch
 }
 
 func (j *job) statusLocked() api.JobStatus {
@@ -178,6 +187,10 @@ func (j *job) statusLocked() api.JobStatus {
 	}
 	req := j.req
 	st.Request = &req
+	if j.dispatch != nil && j.state == api.JobRunning {
+		fp := j.dispatch.Progress()
+		st.Fabric = &fp
+	}
 	return st
 }
 
@@ -320,6 +333,10 @@ func (m *Manager) restore() ([]*job, error) {
 func (m *Manager) Submit(req api.JobSubmitRequest) (api.JobStatus, error) {
 	if _, err := buildRunner(&req, m.workersFor(&req), m.cfg.Planner, ""); err != nil {
 		return api.JobStatus{}, err
+	}
+	if req.Distributed && m.cfg.Fabric == nil {
+		return api.JobStatus{}, fmt.Errorf(
+			"%w: distributed jobs need a fabric pool (start the server with -fabric-secret)", ErrBadRequest)
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -592,7 +609,14 @@ func (m *Manager) runJob(j *job) {
 		span.SetAttr("job", j.id)
 		span.SetAttr("kind", string(j.kind))
 	}
-	err = m.runBody(jctx, j, runner)
+	if dr, ok := runner.(distRunner); ok && j.req.Distributed && m.cfg.Fabric != nil {
+		err = m.runBodyDistributed(jctx, j, dr, m.cfg.Fabric)
+	} else {
+		// Local chunk loop — also the fallback when a distributed job is
+		// resumed on a server without a pool (the streams are identical
+		// either way, so the resume stays byte-exact).
+		err = m.runBody(jctx, j, runner)
+	}
 	j.mu.Lock()
 	j.cancelRun = nil
 	j.mu.Unlock()
@@ -801,6 +825,13 @@ func (m *Manager) attemptChunk(ctx context.Context, j *job, r kindRunner, chunk,
 // checkpoint file.  Ordering matters: the data covered by Offset must be
 // durable before a checkpoint referencing it exists.
 func (m *Manager) writeCheckpoint(f *os.File, j *job, r kindRunner, next int, offset int64, shapes uint64, retries int) error {
+	return m.writeCheckpointOwners(f, j, r, next, offset, shapes, retries, nil)
+}
+
+// writeCheckpointOwners is writeCheckpoint plus the distributed run's
+// per-chunk ownership snapshot (chunks in flight on peers at checkpoint
+// time).
+func (m *Manager) writeCheckpointOwners(f *os.File, j *job, r kindRunner, next int, offset int64, shapes uint64, retries int, owners map[string]string) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
@@ -811,6 +842,7 @@ func (m *Manager) writeCheckpoint(f *os.File, j *job, r kindRunner, next int, of
 	ck := checkpoint{
 		Version: api.JobSchemaVersion, JobID: j.id,
 		NextChunk: next, Offset: offset, Shapes: shapes, Retries: retries, Agg: agg,
+		Owners: owners,
 	}
 	return writeJSONAtomic(filepath.Join(j.dir, checkpointFile), ck)
 }

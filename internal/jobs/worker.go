@@ -1,0 +1,62 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/pkg/api"
+)
+
+// ExecuteChunk executes exactly one chunk of a job spec and returns its
+// portable result — the compute half of the fabric's worker mode (POST
+// /v1/internal/chunks).  It needs no Manager: no data dir, no queue, no
+// checkpoints — a fresh runner is built, validated exactly like a
+// submission, and driven for the one chunk.  Determinism of the runners
+// makes re-execution free: the coordinator may send the same chunk to
+// several peers (requeue after a failure) and every copy returns the same
+// bytes.
+//
+// defaultWorkers is the per-chunk parallelism when the job spec does not
+// set workers (< 1 means GOMAXPROCS); planner should be the server's own
+// so worker-side planning warms the shared plan cache (nil builds a
+// default one).  Validation failures wrap ErrBadRequest; a panicking chunk
+// is recovered into an error, failing only this request.
+func ExecuteChunk(ctx context.Context, req api.ChunkRequest, defaultWorkers int, planner *core.Planner) (res *api.ChunkResult, err error) {
+	if req.Version != api.Version {
+		return nil, fmt.Errorf("%w: chunk request schema v%d, this server speaks v%d",
+			ErrBadRequest, req.Version, api.Version)
+	}
+	if planner == nil {
+		planner = core.NewPlanner(core.DefaultOptions)
+	}
+	workers := req.Job.Workers
+	if workers < 1 {
+		workers = defaultWorkers
+	}
+	if workers > 32 { // the Manager's default MaxWorkers cap
+		workers = 32
+	}
+	r, err := buildRunner(&req.Job, workers, planner, "")
+	if err != nil {
+		return nil, err
+	}
+	dr, ok := r.(distRunner)
+	if !ok {
+		return nil, fmt.Errorf("%w: kind %q cannot run distributed", ErrBadRequest, req.Job.Kind)
+	}
+	if req.Chunk < 0 || req.Chunk >= r.chunks() {
+		return nil, fmt.Errorf("%w: chunk %d out of range [0,%d)", ErrBadRequest, req.Chunk, r.chunks())
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("jobs: chunk %d panicked: %v", req.Chunk, p)
+		}
+	}()
+	out, err := dr.remote(ctx, req.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	out.Version, out.Chunk = api.Version, req.Chunk
+	return out, nil
+}

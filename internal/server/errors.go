@@ -40,6 +40,10 @@ func errUnavailable(msg string) *apiError {
 	return &apiError{status: http.StatusServiceUnavailable, code: api.CodeUnavailable, msg: msg}
 }
 
+func errUnauthorized(format string, a ...any) *apiError {
+	return &apiError{status: http.StatusUnauthorized, code: api.CodeUnauthorized, msg: fmt.Sprintf(format, a...)}
+}
+
 // writeAPIError emits the envelope.  A retry hint becomes both the
 // Retry-After header (whole seconds, rounded up, per RFC 9110) and the
 // millisecond-precision retry_after_ms body field.

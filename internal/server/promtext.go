@@ -166,9 +166,13 @@ func (m *metrics) render(b *strings.Builder, gauges []gauge) {
 		h.mu.Unlock()
 	}
 
-	for _, g := range gauges {
-		fmt.Fprintf(b, "# HELP %s %s\n", g.name, g.help)
-		fmt.Fprintf(b, "# TYPE %s %s\n", g.name, g.kind)
+	for i, g := range gauges {
+		// Consecutive gauges sharing a name are one metric family with
+		// several label sets; HELP/TYPE are emitted once per family.
+		if i == 0 || gauges[i-1].name != g.name {
+			fmt.Fprintf(b, "# HELP %s %s\n", g.name, g.help)
+			fmt.Fprintf(b, "# TYPE %s %s\n", g.name, g.kind)
+		}
 		if g.labels != "" {
 			fmt.Fprintf(b, "%s{%s} %s\n", g.name, g.labels, fmtFloat(g.value))
 		} else {

@@ -53,6 +53,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/fabric"
 	"repro/internal/guest"
 	"repro/internal/jobs"
 	"repro/internal/mesh"
@@ -107,6 +108,11 @@ type Config struct {
 	// nil disables logging entirely — the hot path then allocates nothing
 	// for it, not even the request ID.
 	Logger *slog.Logger
+	// FabricSecret, when non-empty, enables the fabric worker endpoints
+	// (POST /v1/internal/chunks, POST /v1/peers) guarded by the
+	// X-Fabric-Secret header.  Empty means this server is not a fabric
+	// member: those endpoints answer 503.
+	FabricSecret string
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +146,7 @@ type Server struct {
 	m        *metrics
 	jobs     *jobs.Manager      // nil until AttachJobs; jobs endpoints 503 without it
 	artifact *artifact.Artifact // nil until AttachArtifact; L1 plan tier (see tiers.go)
+	pool     *fabric.Pool       // nil until AttachFabric; peer endpoints 503 without it
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -162,6 +169,10 @@ func (s *Server) Planner() *core.Planner { return s.planner }
 // AttachJobs wires a job manager into the /v1/jobs endpoints.  Call it
 // before Handler is serving; without it those endpoints answer 503.
 func (s *Server) AttachJobs(m *jobs.Manager) { s.jobs = m }
+
+// AttachFabric wires a fabric pool into the /v1/peers endpoints and the
+// /metrics fabric gauges.  Call it before Handler is serving.
+func (s *Server) AttachFabric(p *fabric.Pool) { s.pool = p }
 
 // CacheStats returns the result cache's counters (for tests and /metrics).
 func (s *Server) CacheStats() ResultCacheStats { return s.cache.stats() }
@@ -186,6 +197,12 @@ func (s *Server) Handler() http.Handler {
 	// download can be hundreds of MB, so it too stays outside the timeout.
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleJobArtifact)
+	// Fabric: chunk execution is long-running compute and lives outside
+	// instrument for the same reason as the results stream; the peer
+	// endpoints are tiny but share the secret guard, so they stay together.
+	mux.HandleFunc("POST /v1/internal/chunks", s.handleChunkExecute)
+	mux.HandleFunc("GET /v1/peers", s.handlePeersList)
+	mux.HandleFunc("POST /v1/peers", s.handlePeersJoin)
 	return mux
 }
 
@@ -784,6 +801,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{name: "embedserver_jobs_retries_total", help: "Job chunk attempts retried after a panic or error.", kind: "counter", value: float64(js.Retries)},
 			gauge{name: "embedserver_jobs_result_bytes_total", help: "Bytes of NDJSON results committed to disk.", kind: "counter", value: float64(js.ResultBytes)},
 		)
+	}
+	if s.pool != nil {
+		fs := s.pool.Stats()
+		gauges = append(gauges,
+			gauge{name: "embedserver_fabric_peers", help: "Remote fabric peers by health state.", kind: "gauge", value: float64(fs.Up), labels: `state="up"`},
+			gauge{name: "embedserver_fabric_peers", help: "Remote fabric peers by health state.", kind: "gauge", value: float64(fs.Down), labels: `state="down"`},
+			gauge{name: "embedserver_fabric_chunks_dispatched_total", help: "Chunk executions dispatched to fabric peers.", kind: "counter", value: float64(fs.Dispatched)},
+			gauge{name: "embedserver_fabric_chunks_requeued_total", help: "Chunks re-dispatched after a fabric peer failure.", kind: "counter", value: float64(fs.Requeued)},
+			gauge{name: "embedserver_fabric_chunks_folded_total", help: "Distributed chunk results folded into job streams.", kind: "counter", value: float64(fs.Folded)},
+		)
+		for _, ps := range fs.Peers {
+			gauges = append(gauges,
+				gauge{name: "embedserver_fabric_peer_inflight", help: "Chunks currently executing, by fabric peer.", kind: "gauge", value: float64(ps.InFlight), labels: fmt.Sprintf("peer=%q", ps.Addr)},
+			)
+		}
 	}
 	gauges = append(gauges, runtimeGauges()...)
 	gauges = append(gauges, buildInfoGauge())

@@ -26,6 +26,9 @@ const (
 	// CodeQueueFull (429): the bounded job queue is full; the job was NOT
 	// accepted, so resubmitting after RetryAfterMS is safe.
 	CodeQueueFull ErrorCode = "queue_full"
+	// CodeUnauthorized (401): the fabric shared secret is missing or wrong
+	// on an internal endpoint (chunk execution, peer join).  Never retried.
+	CodeUnauthorized ErrorCode = "unauthorized"
 	// CodeTimeout (504): the per-request deadline expired.  The computation
 	// keeps running detached and lands in the result cache, so a retry
 	// after RetryAfterMS is usually a cache hit.

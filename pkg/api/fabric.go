@@ -1,0 +1,137 @@
+package api
+
+import "encoding/json"
+
+// Distributed sweep-fabric wire schema.  A coordinator embedserver shards a
+// distributed job's chunk range across worker peers: each chunk is executed
+// remotely via POST /v1/internal/chunks (ChunkRequest → ChunkResult) and the
+// coordinator folds the results strictly in chunk-index order, so the final
+// result stream and aggregate are byte-identical to a single-node run of the
+// same job.
+//
+// ChunkResult is portable by construction: it carries only chunk-local data
+// (NDJSON rows, an aggregate *delta*, or position-independent plan entries),
+// never anything that depends on which chunks ran before it.  That is what
+// lets the coordinator fold chunks computed by any peer, in any completion
+// order, behind the reorder buffer.
+//
+// The peer-admin schema (GET/POST /v1/peers) covers discovery: a static
+// -peers list on the coordinator, or workers self-registering with -join.
+
+// FabricSecretHeader carries the shared fabric secret on the internal
+// endpoints (chunk execution, peer join).  A server started with
+// -fabric-secret refuses requests whose header does not match; without a
+// configured secret the internal endpoints are disabled entirely.
+const FabricSecretHeader = "X-Fabric-Secret"
+
+// ChunkRequest is the POST /v1/internal/chunks body: execute exactly one
+// chunk of the given job spec.  Job is the full submit request so the worker
+// can rebuild the kind runner the coordinator validated; Chunk indexes into
+// the runner's fixed chunk range.
+type ChunkRequest struct {
+	Version int              `json:"version"`
+	Job     JobSubmitRequest `json:"job"`
+	Chunk   int              `json:"chunk"`
+}
+
+// ChunkResult is the reply: the chunk's deterministic output.  Exactly one
+// of (Rows+Agg) or Plans is populated, by job kind:
+//
+//   - census / epsilon / plansweep: Rows holds the chunk's NDJSON records
+//     verbatim (identical bytes to a local run) and Agg the aggregate delta
+//     of just this chunk (e.g. the census tally of one shard), which the
+//     coordinator merges in index order — integer merges are associative, so
+//     fold-of-deltas equals the sequential aggregate exactly.
+//   - plancensus: Rows would not be portable (the chunk record and the
+//     artifact records embed the cumulative string-section cursor), so the
+//     worker returns one PlanEntry per shape in rank order and the
+//     coordinator replays them into its own artifact builder, emitting the
+//     chunk record itself.
+type ChunkResult struct {
+	Version int    `json:"version"`
+	Chunk   int    `json:"chunk"`
+	Shapes  uint64 `json:"shapes"`
+	Rows    []byte `json:"rows,omitempty"`
+	// Agg is the kind runner's aggregate snapshot over this chunk alone
+	// (same encoding as the checkpoint aggregate); absent for stateless
+	// kinds and for plancensus.
+	Agg   json.RawMessage `json:"agg,omitempty"`
+	Plans []PlanEntry     `json:"plans,omitempty"`
+}
+
+// PlanEntry is one plancensus plan in a position-independent form: exactly
+// the fields of an artifact record, minus the string-section offsets the
+// coordinator's builder assigns on replay.  Kind is the plan-node wire name
+// locked by enumgen (core.Kind).
+type PlanEntry struct {
+	Kind   string `json:"kind"`
+	Method int    `json:"method"`
+	// Dilation is the plan's a-priori dilation bound; -1 when unknown
+	// (mirrors PlanRecord.DilationBound).
+	Dilation int    `json:"dilation"`
+	CubeDim  int    `json:"cube_dim"`
+	Minimal  bool   `json:"minimal,omitempty"`
+	Plan     string `json:"plan"`
+}
+
+// PeerState is a fabric peer's health as the coordinator sees it.
+type PeerState string
+
+const (
+	PeerUp   PeerState = "up"
+	PeerDown PeerState = "down"
+)
+
+// PeerStatus is one fabric peer's live status (GET /v1/peers, and the
+// per-peer rows of a distributed job's JobStatus.Fabric block).
+type PeerStatus struct {
+	Addr  string    `json:"addr"`
+	State PeerState `json:"state"`
+	// InFlight is the number of chunks currently executing on the peer.
+	InFlight int `json:"in_flight"`
+	// Dispatched / Requeued / Failed are lifetime chunk counters for this
+	// peer: executions started, chunks taken back after the peer failed, and
+	// execution attempts that errored.
+	Dispatched uint64 `json:"dispatched"`
+	Requeued   uint64 `json:"requeued"`
+	Failed     uint64 `json:"failed"`
+	// LastError is the most recent failure observed on the peer ("" when
+	// none); purely diagnostic.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// PeersResponse is the GET /v1/peers reply.
+type PeersResponse struct {
+	Version int          `json:"version"`
+	Peers   []PeerStatus `json:"peers"`
+}
+
+// PeerJoinRequest is the POST /v1/peers body: a worker self-registering its
+// advertised base URL with the coordinator (the -join flag).  Joining an
+// already-known address re-dials it, so a restarted worker can rejoin under
+// the same address.
+type PeerJoinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// JobPeer is one peer's share of a running distributed job.
+type JobPeer struct {
+	Addr  string    `json:"addr"`
+	State PeerState `json:"state"`
+	// InFlight are the chunk indexes currently executing on this peer, in
+	// ascending order.
+	InFlight []int `json:"in_flight,omitempty"`
+	// Done counts chunks this peer completed for this job.
+	Done uint64 `json:"done"`
+}
+
+// FabricProgress is the distributed-dispatch block of a running distributed
+// job's status.
+type FabricProgress struct {
+	// Peers lists every peer the dispatcher considered, with its current
+	// chunk assignment.
+	Peers []JobPeer `json:"peers"`
+	// Requeued counts chunks re-dispatched after a peer failure (each is
+	// still folded exactly once).
+	Requeued uint64 `json:"requeued"`
+}

@@ -72,8 +72,13 @@ type JobSubmitRequest struct {
 	// Workers bounds the per-chunk parallelism (values below one mean the
 	// server's default).  Chunks themselves always run sequentially — that
 	// is what makes the record stream and the checkpoints deterministic.
-	Workers    int               `json:"workers,omitempty"`
-	Census     *CensusParams     `json:"census,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Distributed asks the coordinator to shard the job's chunks across its
+	// fabric peers (see fabric.go).  The final results are byte-identical to
+	// a single-node run — only the wall-clock changes.  Rejected when the
+	// server has no fabric configured.
+	Distributed bool              `json:"distributed,omitempty"`
+	Census      *CensusParams     `json:"census,omitempty"`
 	Epsilon    *EpsilonParams    `json:"epsilon,omitempty"`
 	PlanSweep  *PlanSweepParams  `json:"plansweep,omitempty"`
 	PlanCensus *PlanCensusParams `json:"plancensus,omitempty"`
@@ -149,6 +154,9 @@ type JobStatus struct {
 	Resumed int `json:"resumed,omitempty"`
 	// Request echoes the submitted job spec.
 	Request *JobSubmitRequest `json:"request,omitempty"`
+	// Fabric reports the per-peer chunk assignment while a distributed job
+	// is running; absent for local jobs and terminal states.
+	Fabric *FabricProgress `json:"fabric,omitempty"`
 }
 
 // JobListResponse is the GET /v1/jobs reply (jobs in creation order).

@@ -18,11 +18,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/pkg/api"
@@ -35,6 +37,7 @@ type Client struct {
 	http    *http.Client
 	retries int
 	backoff time.Duration
+	secret  string
 	// sleep is swappable for tests; it must respect ctx cancellation.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -54,6 +57,11 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // WithBackoff sets the base backoff delay, doubled per attempt (default
 // 250ms).  The server's Retry-After hint overrides it when longer.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithSecret attaches the fabric shared secret to every request (the
+// X-Fabric-Secret header).  Required for the internal endpoints — chunk
+// execution and peer join; public endpoints ignore the header.
+func WithSecret(s string) Option { return func(c *Client) { c.secret = s } }
 
 // New returns a Client for the service at base (e.g.
 // "http://127.0.0.1:8080").
@@ -89,6 +97,18 @@ func retryable(e *api.Error) bool {
 		return true
 	}
 	return false
+}
+
+// transientDial reports whether a transport-level failure is worth retrying
+// with the same backoff as a 429/503: connection refused (the peer is down
+// or restarting — the fabric's worker-loss path) or connection reset (it
+// died mid-request).  Both mean the request was not processed, so a resend
+// is safe.  Context cancellation is never retried.
+func transientDial(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
 }
 
 // decodeError turns a non-2xx response into a *api.Error, tolerating
@@ -159,9 +179,22 @@ func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, b
 				req.Header.Add(k, v)
 			}
 		}
+		if c.secret != "" {
+			req.Header.Set(api.FabricSecretHeader, c.secret)
+		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return err // transport errors carry ctx causes; don't mask them
+			// Transient dial failures (refused/reset) back off and retry
+			// like a 429; anything else — including ctx causes — returns
+			// unmasked.
+			if attempt >= c.retries || !transientDial(err) {
+				return err
+			}
+			if serr := c.sleep(ctx, delay); serr != nil {
+				return err
+			}
+			delay *= 2
+			continue
 		}
 		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
@@ -283,7 +316,14 @@ func (c *Client) JobResults(ctx context.Context, id string, offset int64) (io.Re
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return nil, err
+			if attempt >= c.retries || !transientDial(err) {
+				return nil, err
+			}
+			if serr := c.sleep(ctx, delay); serr != nil {
+				return nil, err
+			}
+			delay *= 2
+			continue
 		}
 		if resp.StatusCode == http.StatusOK {
 			return resp.Body, nil
@@ -325,6 +365,41 @@ func (c *Client) JobArtifact(ctx context.Context, id string) (io.ReadCloser, err
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
 	return nil, decodeError(resp, data)
+}
+
+// ExecuteChunk runs exactly one chunk of a job spec on this server (the
+// fabric worker endpoint, POST /v1/internal/chunks) and returns its
+// deterministic output.  The server requires the fabric shared secret
+// (WithSecret) and answers 503 unavailable when started without one.
+// Chunk execution is side-effect free on the worker, so the usual retry
+// policy (429/503 and transient dial failures) applies safely.
+func (c *Client) ExecuteChunk(ctx context.Context, req api.ChunkRequest) (*api.ChunkResult, error) {
+	var out api.ChunkResult
+	if err := c.do(ctx, http.MethodPost, "/v1/internal/chunks", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Peers lists the coordinator's fabric peers with health and per-peer
+// dispatch counters (GET /v1/peers).
+func (c *Client) Peers(ctx context.Context) (*api.PeersResponse, error) {
+	var out api.PeersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/peers", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JoinPeer registers addr (a worker's advertised base URL) with the
+// coordinator (POST /v1/peers, the -join handshake).  Requires the fabric
+// secret; joining an already-known address re-dials it.
+func (c *Client) JoinPeer(ctx context.Context, addr string) (*api.PeersResponse, error) {
+	var out api.PeersResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/peers", nil, api.PeerJoinRequest{Addr: addr}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // RawMetrics fetches the server's Prometheus text exposition verbatim —

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// flakyTransport fails the first `fails` round trips with err, then
+// delegates to the real transport.  http.Client wraps the error in a
+// *url.Error, which errors.Is unwraps — exactly what a refused dial to a
+// restarting peer looks like.
+type flakyTransport struct {
+	inner http.RoundTripper
+	err   error
+	fails int
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.fails {
+		return nil, f.err
+	}
+	return f.inner.RoundTrip(req)
+}
+
+func (f *flakyTransport) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// flakyClient is newTestClient with the transport replaced; the returned
+// counter reports how many round trips were attempted.
+func flakyClient(t *testing.T, err error, fails int, opts ...Option) (*Client, *flakyTransport) {
+	t.Helper()
+	c, _ := newTestClient(t, opts...)
+	ft := &flakyTransport{inner: http.DefaultTransport, err: err, fails: fails}
+	c.http = &http.Client{Transport: ft}
+	return c, ft
+}
+
+// TestTransientDialRetried: connection-refused failures back off and retry
+// until the peer answers — the path a fabric coordinator takes when a worker
+// registers a moment before its listener accepts, or restarts between
+// chunks.
+func TestTransientDialRetried(t *testing.T) {
+	for _, dialErr := range []error{syscall.ECONNREFUSED, syscall.ECONNRESET} {
+		c, ft := flakyClient(t, dialErr, 2, WithRetries(4))
+		hz, err := c.Healthz(context.Background())
+		if err != nil {
+			t.Fatalf("%v twice then up: %v", dialErr, err)
+		}
+		if hz.Status != "ok" {
+			t.Fatalf("healthz after retry: %+v", hz)
+		}
+		if got := ft.count(); got != 3 {
+			t.Fatalf("round trips = %d, want 3 (2 refused + 1 ok)", got)
+		}
+	}
+}
+
+// TestTransientDialExhausted: the retry budget bounds the attempts and the
+// last dial error surfaces unmasked.
+func TestTransientDialExhausted(t *testing.T) {
+	c, ft := flakyClient(t, syscall.ECONNREFUSED, 100, WithRetries(2))
+	_, err := c.Healthz(context.Background())
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want ECONNREFUSED", err)
+	}
+	if got := ft.count(); got != 3 {
+		t.Fatalf("round trips = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNonTransientDialNotRetried: transport failures that do not look like
+// a down peer (DNS, TLS, protocol errors) return immediately.
+func TestNonTransientDialNotRetried(t *testing.T) {
+	boom := errors.New("tls: handshake failure")
+	c, ft := flakyClient(t, boom, 100, WithRetries(4))
+	_, err := c.Healthz(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the handshake failure", err)
+	}
+	if got := ft.count(); got != 1 {
+		t.Fatalf("round trips = %d, want 1 (no retry)", got)
+	}
+}
+
+// TestCancelledDialNotRetried: context cancellation is never retried, even
+// though it surfaces as a transport-level error.
+func TestCancelledDialNotRetried(t *testing.T) {
+	c, ft := flakyClient(t, context.Canceled, 100, WithRetries(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Healthz(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ft.count(); got > 1 {
+		t.Fatalf("round trips = %d, want at most 1 (no retry)", got)
+	}
+}
