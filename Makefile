@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke
+.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash dash-check loadtest-smoke
 
-check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke
+check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash-check loadtest-smoke
 
 # Regenerate the enumgen boilerplate (strategy names, plan kinds, guest
 # families).
@@ -61,16 +61,19 @@ bench-short:
 # artifact lookup, and the resolver-level closed_form / artifact / compute
 # split), and the PR 8 fabric dispatch scaling (coordinator chunk throughput
 # against 1/2/4 fixed-service-time peers — the peers=2/peers=1 chunks/sec
-# ratio is the 2-worker scaling factor); see EXPERIMENTS.md for the recorded
-# numbers.
+# ratio is the 2-worker scaling factor), the PR 9 SSE fanout (events/sec
+# into 1/16/128 live subscribers) and the PR 9 loadtest mix (client-side
+# p50/p95/p99 + shed/error rates against a booted server, via the smoke
+# script in BENCH=1 mode); see EXPERIMENTS.md for the recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler|BenchmarkPlanTier' -benchmem ./internal/server; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler|BenchmarkPlanTier|BenchmarkSSEFanout' -benchmem ./internal/server; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusJob|BenchmarkPlanSweepJob' -benchmem ./internal/jobs; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkClassify' -benchmem ./internal/core; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkDispatch' ./internal/fabric; \
-	  $(GO) test -run '^$$' -bench . -benchmem ./internal/artifact; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+	  $(GO) test -run '^$$' -bench . -benchmem ./internal/artifact; \
+	  BENCH=1 sh scripts/loadtest_smoke.sh; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_PR9.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.
@@ -103,6 +106,24 @@ artifact-smoke:
 # byte-for-byte against a single-node run.
 fabric-smoke:
 	sh scripts/fabric_smoke.sh
+
+# Regenerate the Grafana dashboard pack from the Go definitions in
+# internal/dash.  Every panel query is validated against
+# server.MetricFamilies() at render time.
+dash:
+	$(GO) run ./cmd/dashgen -out deploy/grafana/dashboards
+
+# Fail when deploy/grafana/dashboards drifted from internal/dash — the
+# dashboards-as-code gate: metric renames must update the dashboards in
+# the same change.
+dash-check:
+	$(GO) run ./cmd/dashgen -check deploy/grafana/dashboards
+
+# Replayable seeded traffic mix against a booted server: plan/embed/compare
+# plus a batch job, asserting zero errors and benchjson-parseable
+# percentile rows.
+loadtest-smoke:
+	sh scripts/loadtest_smoke.sh
 
 figures:
 	$(GO) run ./cmd/figures

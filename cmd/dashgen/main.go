@@ -1,0 +1,77 @@
+// Command dashgen generates the deploy/grafana dashboard pack from Go
+// definitions, so dashboards live in code review rather than in a Grafana
+// instance's click-state.
+//
+// Every panel's PromQL is validated against the metric families the server
+// actually registers (server.MetricFamilies, the canonical list in
+// internal/server/promtext.go): a panel referencing a renamed or deleted
+// family is a build error here, not a silently-empty graph in production.
+//
+// Usage:
+//
+//	dashgen -out deploy/grafana/dashboards   # (re)write the dashboard JSON
+//	dashgen -check deploy/grafana/dashboards # fail if on-disk JSON drifted
+//
+// make dash-check wires the second form into make check.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dash"
+)
+
+func main() {
+	out := flag.String("out", "", "write the generated dashboard JSON files into this directory")
+	check := flag.String("check", "", "compare generated JSON against this directory; non-zero exit on drift")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "dashgen: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+
+	files, err := dash.Render()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashgen:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dashgen:", err)
+			os.Exit(1)
+		}
+		for name, data := range files {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "dashgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+		}
+		return
+	}
+
+	drifted := false
+	for name, data := range files {
+		path := filepath.Join(*check, name)
+		disk, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dashgen: %s: %v (run `make dash` to regenerate)\n", path, err)
+			drifted = true
+			continue
+		}
+		if !bytes.Equal(disk, data) {
+			fmt.Fprintf(os.Stderr, "dashgen: %s drifted from the Go definitions (run `make dash` to regenerate)\n", path)
+			drifted = true
+		}
+	}
+	if drifted {
+		os.Exit(1)
+	}
+	fmt.Printf("dashboards in %s match the Go definitions (%d files)\n", *check, len(files))
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/pkg/api"
 	"repro/pkg/client"
 )
@@ -73,7 +74,10 @@ func cmdBench(args []string) {
 	// Tier and fabric counters before the run; deltas are reported at the
 	// end so the server-side split (L0 / closed-form / artifact / compute)
 	// and any distributed-chunk traffic are visible next to the client-side
-	// latencies.
+	// latencies.  The process-local obs counters reset here for the same
+	// reason: span counts in the summary are per-run deltas, not totals
+	// accumulated across repeated bench invocations of one process.
+	obs.ResetStats()
 	tiersBefore := fetchTierCounters(c)
 	fabricBefore := fetchFabricCounters(c)
 
@@ -260,12 +264,24 @@ type benchSummary struct {
 	ElapsedSec float64       `json:"elapsed_seconds"`
 	ReqPerSec  float64       `json:"req_per_sec"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// Obs reports this process's tracer counters for the run — per-run
+	// deltas thanks to the ResetStats at bench start, mirroring how the
+	// server-side tier counters are reported as deltas.
+	Obs benchObsStats `json:"obs"`
+}
+
+// benchObsStats is the per-run obs tracer delta.
+type benchObsStats struct {
+	Traces     uint64 `json:"traces"`
+	Spans      uint64 `json:"spans"`
+	OverheadNS int64  `json:"span_overhead_ns"`
 }
 
 func writeBenchJSON(cold, warm []time.Duration, elapsed time.Duration, errsCount int, mode string, shapes []string) {
 	stat := func(name string, iters int, d time.Duration) benchResult {
 		return benchResult{Name: name, Iterations: int64(iters), NsPerOp: float64(d.Nanoseconds())}
 	}
+	st := obs.ReadStats()
 	sum := benchSummary{
 		Mode:       mode,
 		Shapes:     shapes,
@@ -273,6 +289,7 @@ func writeBenchJSON(cold, warm []time.Duration, elapsed time.Duration, errsCount
 		Errors:     errsCount,
 		ElapsedSec: elapsed.Seconds(),
 		ReqPerSec:  float64(len(warm)) / elapsed.Seconds(),
+		Obs:        benchObsStats{Traces: st.Traces, Spans: st.Spans, OverheadNS: st.OverheadNS},
 		Benchmarks: []benchResult{
 			stat("cold/p50", len(cold), percentile(cold, 50)),
 			stat("warm/p50", len(warm), percentile(warm, 50)),

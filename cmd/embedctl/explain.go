@@ -2,13 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/pkg/client"
 )
 
 // cmdExplain prints the planner's strategy provenance for a shape: which
@@ -76,12 +79,24 @@ func printPlanTrace(w io.Writer, pt *core.PlanTrace, indent string) {
 
 // cmdTrace plans, builds, verifies and measures a shape under a span trace
 // and writes the result as Chrome trace-event JSON, loadable in
-// chrome://tracing or https://ui.perfetto.dev.
+// chrome://tracing or https://ui.perfetto.dev.  With -job it instead fetches
+// a finished job's stitched span tree from a running embedserver — for a
+// distributed run, one trace covering coordinator dispatch/fold and every
+// worker's chunk execution — and exports that.
 func cmdTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	out := fs.String("o", "trace.json", "output file for the Chrome trace-event JSON")
 	workers := fs.Int("workers", 0, "metrics-engine workers (<1: GOMAXPROCS)")
+	job := fs.String("job", "", "export a finished job's trace from a server instead of tracing a local run")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL (with -job)")
 	_ = fs.Parse(args)
+	if *job != "" {
+		if fs.NArg() != 0 {
+			usage()
+		}
+		traceJob(*addr, *job, *out)
+		return
+	}
 	s := parseShape(fs.Args())
 
 	obs.SetEnabled(true)
@@ -120,4 +135,36 @@ func cmdTrace(args []string) {
 	}
 	fmt.Printf("plan: %s\n%s\n", p, m)
 	fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *out)
+}
+
+// traceJob fetches a job's stitched span tree over HTTP and exports it as
+// Chrome trace-event JSON.
+func traceJob(addr, id, out string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	raw, err := client.New(addr).JobTrace(ctx, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	var root obs.SpanJSON
+	if err := json.Unmarshal(raw, &root); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl: decode trace:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, &root); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "embedctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("job %s: %d spans (trace %s)\n", id, root.Count(), root.TraceID)
+	fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", out)
 }

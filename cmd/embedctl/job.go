@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,8 +20,9 @@ import (
 //
 //	embedctl job submit -kind census -max-n 9
 //	embedctl job status <id>
-//	embedctl job watch <id>            # live progress until terminal
+//	embedctl job watch <id>            # live progress until terminal (SSE)
 //	embedctl job results <id>          # stream NDJSON to stdout (resumable)
+//	embedctl job events <id>           # live SSE rows to stdout (resumable)
 //	embedctl job cancel <id>
 //	embedctl job list
 func cmdJob(args []string) {
@@ -43,6 +45,8 @@ func cmdJob(args []string) {
 		jobWatch(ctx, rest)
 	case "results":
 		jobResults(ctx, rest)
+	case "events":
+		jobEvents(ctx, rest)
 	case "cancel":
 		st, err := jobClient(rest, 1).c.CancelJob(ctx, jobID(rest))
 		jobCheck(err)
@@ -67,6 +71,7 @@ func jobUsage() {
   embedctl job status  [-addr URL] <id>
   embedctl job watch   [-addr URL] <id>
   embedctl job results [-addr URL] [-offset B] <id>
+  embedctl job events  [-addr URL] [-from B] <id>
   embedctl job cancel  [-addr URL] <id>
   embedctl job list    [-addr URL]
 `)
@@ -171,15 +176,17 @@ func jobSubmit(ctx context.Context, args []string) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "submitted %s\n", st.ID)
-	fin, err := c.WatchJob(ctx, st.ID, time.Second, watchLine)
+	fin, err := c.WatchJobLive(ctx, st.ID, time.Second, watchLine)
 	jobCheck(err)
 	fmt.Fprintln(os.Stderr)
 	printJSON(fin)
 }
 
+// jobWatch renders live progress from the SSE event stream (falling back to
+// polling inside WatchJobLive when the server predates /events).
 func jobWatch(ctx context.Context, args []string) {
 	jf := jobClient(args, 1)
-	fin, err := jf.c.WatchJob(ctx, jf.args[0], time.Second, watchLine)
+	fin, err := jf.c.WatchJobLive(ctx, jf.args[0], time.Second, watchLine)
 	jobCheck(err)
 	fmt.Fprintln(os.Stderr)
 	printJSON(fin)
@@ -209,4 +216,64 @@ func jobResults(ctx context.Context, args []string) {
 	defer rc.Close()
 	_, err = io.Copy(os.Stdout, rc)
 	jobCheck(err)
+}
+
+// jobEvents follows the SSE event stream, writing row payloads to stdout as
+// NDJSON (byte-identical to `job results` from the same offset) and progress
+// lines to stderr.  If the server drops the stream mid-job — slow-client
+// eviction, restart — it reconnects with the last row's id, so the stdout
+// stream stays gapless and duplicate-free.
+func jobEvents(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("job events", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	from := fs.Int64("from", 0, "resume the row stream from this byte offset")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		jobUsage()
+	}
+	c := client.New(*addr)
+	id, offset := fs.Arg(0), *from
+	for {
+		s, err := c.JobEvents(ctx, id, offset, true)
+		if err != nil {
+			// A typed API rejection (not_found, bad offset) is final; a
+			// transport failure means the server is down or restarting —
+			// keep trying, the stream resumes from offset once it's back.
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) || ctx.Err() != nil {
+				jobCheck(err) // prints and exits
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		done := false
+		for !done {
+			ev, nerr := s.Next()
+			if nerr != nil {
+				break
+			}
+			switch ev.Type {
+			case "row":
+				os.Stdout.Write(ev.Data)
+				os.Stdout.Write([]byte{'\n'})
+			case "progress":
+				var st api.JobStatus
+				if json.Unmarshal(ev.Data, &st) == nil {
+					watchLine(st)
+				}
+			case "done":
+				done = true
+			}
+		}
+		offset = s.LastRowID()
+		s.Close()
+		if done {
+			fmt.Fprintln(os.Stderr)
+			return
+		}
+		if ctx.Err() != nil {
+			os.Exit(1)
+		}
+		time.Sleep(200 * time.Millisecond) // dropped; reconnect from offset
+	}
 }

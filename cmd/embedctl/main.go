@@ -51,10 +51,11 @@ func usage() {
                                         embedserver; report cold latency and
                                         warm p50/p95/p99 (-json: machine-
                                         readable, schema of cmd/benchjson)
-  embedctl job submit|status|watch|results|cancel|list
+  embedctl job submit|status|watch|results|events|cancel|list
                                         drive batch-sweep jobs on a running
-                                        embedserver (run "embedctl job" for
-                                        the full flag list)
+                                        embedserver; watch/events stream live
+                                        SSE progress and result rows (run
+                                        "embedctl job" for the full flag list)
   embedctl peers [join]                 list a running embedserver's fabric
                                         peers, or register a worker with a
                                         coordinator (run "embedctl peers -h"
@@ -72,6 +73,10 @@ func usage() {
                                         plan+build+measure under a span
                                         trace; write Chrome trace-event JSON
                                         for chrome://tracing / Perfetto
+  embedctl trace -job <id> [-addr URL] [-o trace.json]
+                                        export a finished job's stitched
+                                        trace (distributed: coordinator +
+                                        every worker) from a server
 shapes look like 5x6x7
 `)
 	os.Exit(2)

@@ -1,0 +1,393 @@
+// Command loadtest replays a seeded heavy-traffic mix against a running
+// embedserver and reports client-observed latency percentiles plus shed
+// and error rates.
+//
+// The mix is deterministic: a fixed-size op sequence (plan, embed and
+// compare calls over a small shape pool, plus a bounded number of batch
+// job submissions) is generated up front from -seed, and -c workers
+// replay it round-robin for -duration.  The same seed therefore always
+// issues the same requests — reruns are comparable and regressions
+// bisectable.  Shape axes are randomly permuted per op so a share of the
+// traffic resolves through the canonical-shape cache rather than the
+// planner, the way mixed production traffic would.
+//
+// The client runs with retries disabled: a 429 over_capacity or
+// queue_full response is counted as a shed, not retried away, so the
+// tool measures what the server actually did under load.
+//
+// Output formats:
+//
+//	-format bench  go-test benchmark lines (default) — pipe through
+//	               cmd/benchjson to land rows in BENCH_PR9.json
+//	-format json   a self-contained benchjson-schema summary document
+//
+// A human-readable table always goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// op is one replayable request from the seeded mix.
+type op struct {
+	kind  string // "plan", "embed", "compare" or "job"
+	shape string
+}
+
+// opKinds is the reporting order; job rows appear as "job_submit".
+var opKinds = []string{"plan", "embed", "compare", "job_submit"}
+
+// baseShapes is the canonical (sorted-axes) shape pool.  Small axes keep a
+// single op cheap enough that the harness saturates the server with
+// request handling, not with one giant measurement.
+var baseShapes = []string{
+	"3x4x5", "4x4x4", "2x5x7", "3x3x8", "4x5x6", "2x4x8",
+	"5x5x5", "3x5x6", "2x6x7", "4x4x7", "2x3x9", "3x6x6",
+}
+
+// buildMix generates the deterministic op sequence.  Weights: ~45% plan,
+// ~30% embed, ~20% compare, ~5% job-submission markers (the run caps how
+// many markers actually submit; the rest degrade to plans).
+func buildMix(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]op, n)
+	for i := range ops {
+		shape := permuteShape(rng, baseShapes[rng.Intn(len(baseShapes))])
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			ops[i] = op{kind: "plan", shape: shape}
+		case r < 0.75:
+			ops[i] = op{kind: "embed", shape: shape}
+		case r < 0.95:
+			ops[i] = op{kind: "compare", shape: shape}
+		default:
+			ops[i] = op{kind: "job"}
+		}
+	}
+	return ops
+}
+
+// permuteShape shuffles the axis order of an AxBxC shape string.  The
+// server canonicalizes axes before planning, so permutations of one base
+// shape share a cache entry — this is what exercises the canonical-shape
+// cache under load.
+func permuteShape(rng *rand.Rand, shape string) string {
+	axes := strings.Split(shape, "x")
+	rng.Shuffle(len(axes), func(i, j int) { axes[i], axes[j] = axes[j], axes[i] })
+	return strings.Join(axes, "x")
+}
+
+// collector accumulates one worker's observations; workers never share a
+// collector, so no locking on the hot path.
+type collector struct {
+	lat   map[string][]time.Duration
+	sheds int64
+	errs  int64
+}
+
+func newCollector() *collector {
+	return &collector{lat: make(map[string][]time.Duration)}
+}
+
+func (c *collector) merge(o *collector) {
+	for k, v := range o.lat {
+		c.lat[k] = append(c.lat[k], v...)
+	}
+	c.sheds += o.sheds
+	c.errs += o.errs
+}
+
+// record classifies one completed op.  Sheds (the server's 429 rejections)
+// and errors are counted but their latency is not mixed into the success
+// percentiles.
+func (c *collector) record(kind string, d time.Duration, err error) {
+	if err == nil {
+		c.lat[kind] = append(c.lat[kind], d)
+		return
+	}
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) &&
+		(apiErr.Code == api.CodeOverCapacity || apiErr.Code == api.CodeQueueFull) {
+		c.sheds++
+		return
+	}
+	c.errs++
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// benchRow mirrors cmd/benchjson's Result schema so -format json emits a
+// document shaped exactly like BENCH_PR9.json rows.
+type benchRow struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchSummary struct {
+	BenchID    string     `json:"bench_id"`
+	UnixMS     int64      `json:"unix_ms"`
+	Goos       string     `json:"goos,omitempty"`
+	Goarch     string     `json:"goarch,omitempty"`
+	CPU        string     `json:"cpu,omitempty"`
+	Pkg        string     `json:"pkg,omitempty"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+const loadtestPkg = "repro/cmd/loadtest"
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
+	seed := flag.Int64("seed", 1, "mix seed; the same seed replays the same op sequence")
+	conc := flag.Int("c", 8, "concurrent workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive traffic")
+	maxJobs := flag.Int("jobs", 2, "max batch job submissions in the mix (0 disables; requires a -data-dir server)")
+	jobMaxN := flag.Int("job-max-n", 3, "census max_n for submitted jobs")
+	format := flag.String("format", "bench", "stdout format: bench (go-test lines for cmd/benchjson) or json")
+	benchID := flag.String("bench-id", "loadtest", "bench_id stamped into -format json output")
+	flag.Parse()
+	if *format != "bench" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "loadtest: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := client.New(*addr, client.WithRetries(0))
+	if _, err := c.Healthz(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: server not reachable at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	ops := buildMix(*seed, 4096)
+
+	var (
+		next     atomic.Int64 // global replay cursor
+		jobsLeft atomic.Int64
+		jobMu    sync.Mutex
+		jobIDs   []string
+	)
+	jobsLeft.Store(int64(*maxJobs))
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	start := time.Now()
+	workers := make([]*collector, *conc)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		col := newCollector()
+		workers[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				o := ops[next.Add(1)%int64(len(ops))]
+				kind := o.kind
+				if kind == "job" && jobsLeft.Add(-1) < 0 {
+					// Job budget spent — degrade the marker to a plan so
+					// the replayed sequence length stays identical.
+					kind, o.shape = "plan", permutedFallbackShape(o)
+				}
+				t0 := time.Now()
+				var err error
+				switch kind {
+				case "plan":
+					_, err = c.Plan(runCtx, api.PlanRequest{Shape: o.shape})
+				case "embed":
+					_, err = c.Embed(runCtx, api.EmbedRequest{Shape: o.shape})
+				case "compare":
+					_, err = c.Compare(runCtx, api.CompareRequest{Shape: o.shape})
+				case "job":
+					kind = "job_submit"
+					var st *api.JobStatus
+					st, err = c.SubmitJob(runCtx, api.JobSubmitRequest{
+						Kind:   api.JobCensus,
+						Census: &api.CensusParams{MaxN: *jobMaxN},
+					})
+					if err == nil {
+						jobMu.Lock()
+						jobIDs = append(jobIDs, st.ID)
+						jobMu.Unlock()
+					}
+				}
+				if runCtx.Err() != nil && err != nil {
+					return // deadline hit mid-request; not a server failure
+				}
+				col.record(kind, time.Since(t0), err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+
+	total := newCollector()
+	for _, col := range workers {
+		total.merge(col)
+	}
+
+	// Drain submitted jobs to terminal state so the server is idle when we
+	// exit; a failed job counts as an error.
+	for _, id := range jobIDs {
+		waitCtx, waitCancel := context.WithTimeout(ctx, time.Minute)
+		st, err := c.WatchJob(waitCtx, id, 100*time.Millisecond, nil)
+		waitCancel()
+		if err != nil || st.State != api.JobDone {
+			total.errs++
+			fmt.Fprintf(os.Stderr, "loadtest: job %s did not complete cleanly (err=%v)\n", id, err)
+		}
+	}
+
+	report(total, elapsed, *format, *benchID)
+}
+
+// permutedFallbackShape derives a deterministic plan shape for a degraded
+// job marker from the op's position-independent state.  Job markers carry
+// no shape, so reuse the first base shape — cheap and cache-friendly.
+func permutedFallbackShape(o op) string {
+	if o.shape != "" {
+		return o.shape
+	}
+	return baseShapes[0]
+}
+
+func report(total *collector, elapsed time.Duration, format, benchID string) {
+	var requests int64 = total.sheds + total.errs
+	var sumAll time.Duration
+	for _, v := range total.lat {
+		requests += int64(len(v))
+		for _, d := range v {
+			sumAll += d
+		}
+	}
+	shedRate, errRate := 0.0, 0.0
+	if requests > 0 {
+		shedRate = float64(total.sheds) / float64(requests)
+		errRate = float64(total.errs) / float64(requests)
+	}
+
+	var rows []benchRow
+	for _, kind := range opKinds {
+		lats := total.lat[kind]
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		for _, pc := range []struct {
+			label string
+			p     float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			rows = append(rows, benchRow{
+				Name:       fmt.Sprintf("BenchmarkLoadtest/%s/%s", kind, pc.label),
+				Pkg:        loadtestPkg,
+				Iterations: int64(len(lats)),
+				NsPerOp:    float64(percentile(lats, pc.p).Nanoseconds()),
+			})
+		}
+	}
+	meanNS := 0.0
+	succeeded := requests - total.sheds - total.errs
+	if succeeded > 0 {
+		meanNS = float64(sumAll.Nanoseconds()) / float64(succeeded)
+	}
+	rows = append(rows, benchRow{
+		Name:       "BenchmarkLoadtest/total",
+		Pkg:        loadtestPkg,
+		Iterations: requests,
+		NsPerOp:    meanNS,
+		Extra: map[string]float64{
+			"req/s":     float64(requests) / elapsed.Seconds(),
+			"shed-rate": shedRate,
+			"err-rate":  errRate,
+		},
+	})
+
+	// Human-readable table on stderr regardless of the stdout format.
+	fmt.Fprintf(os.Stderr, "loadtest: %d requests in %v (%.0f req/s), %d shed (%.2f%%), %d errors (%.2f%%)\n",
+		requests, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds(),
+		total.sheds, 100*shedRate, total.errs, 100*errRate)
+	for _, r := range rows {
+		if strings.HasSuffix(r.Name, "/total") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-32s n=%-6d %10.3fms\n",
+			strings.TrimPrefix(r.Name, "BenchmarkLoadtest/"), r.Iterations, r.NsPerOp/1e6)
+	}
+
+	switch format {
+	case "bench":
+		// go-test style lines, parseable by cmd/benchjson.
+		fmt.Printf("pkg: %s\n", loadtestPkg)
+		for _, r := range rows {
+			line := fmt.Sprintf("%s\t%d\t%.0f ns/op", r.Name, r.Iterations, r.NsPerOp)
+			for _, unit := range sortedExtraUnits(r.Extra) {
+				line += fmt.Sprintf("\t%.6f %s", r.Extra[unit], unit)
+			}
+			fmt.Println(line)
+		}
+	case "json":
+		sum := benchSummary{
+			BenchID:    benchID,
+			UnixMS:     time.Now().UnixMilli(),
+			Goos:       runtime.GOOS,
+			Goarch:     runtime.GOARCH,
+			CPU:        fmt.Sprintf("%d-core %s", runtime.NumCPU(), runtime.GOARCH),
+			Pkg:        loadtestPkg,
+			Benchmarks: rows,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if total.errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func sortedExtraUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}

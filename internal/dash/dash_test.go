@@ -1,0 +1,101 @@
+package dash
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRenderDeterministic: Render succeeds (i.e. every panel query passes
+// family validation) and two renders are byte-identical, which is what the
+// make dash-check drift gate relies on.
+func TestRenderDeterministic(t *testing.T) {
+	a, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("rendered %d dashboards, want 3", len(a))
+	}
+	for name, data := range a {
+		if string(b[name]) != string(data) {
+			t.Errorf("%s: two renders differ", name)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("%s: invalid JSON: %v", name, err)
+		}
+		if doc["uid"] == "" || doc["panels"] == nil {
+			t.Errorf("%s: missing uid/panels", name)
+		}
+	}
+}
+
+// TestValidateCatchesUnknownMetric: a panel referencing a family the server
+// does not register must fail validation — that is the whole point of
+// dashboards-as-code here.
+func TestValidateCatchesUnknownMetric(t *testing.T) {
+	bad := []Dashboard{{
+		UID: "bad",
+		Panels: []Panel{ts("broken", "", "short",
+			q(`rate(embedserver_nonexistent_total[5m])`, ""))},
+	}}
+	err := Validate(bad)
+	if err == nil {
+		t.Fatal("Validate accepted an unregistered metric")
+	}
+	if !strings.Contains(err.Error(), "embedserver_nonexistent_total") {
+		t.Fatalf("error does not name the offending metric: %v", err)
+	}
+}
+
+// TestEveryPanelHasQueries: no placeholder panels, and every target's
+// referenced families resolve (Validate) — plus the reverse direction: the
+// pack as a whole should exercise a decent share of the registry, so a
+// metric added to the server without a dashboard home shows up in review.
+func TestEveryPanelHasQueries(t *testing.T) {
+	dashboards := Definitions()
+	if err := Validate(dashboards); err != nil {
+		t.Fatal(err)
+	}
+	referenced := make(map[string]bool)
+	for _, d := range dashboards {
+		for _, p := range d.Panels {
+			if len(p.Targets) == 0 {
+				t.Errorf("%s / %q has no queries", d.UID, p.Title)
+			}
+			for _, tg := range p.Targets {
+				if tg.Expr == "" {
+					t.Errorf("%s / %q has an empty expr", d.UID, p.Title)
+				}
+				for _, tok := range metricToken.FindAllString(tg.Expr, -1) {
+					base := tok
+					for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+						base = strings.TrimSuffix(base, suffix)
+					}
+					referenced[base] = true
+				}
+			}
+		}
+	}
+	var unreferenced []string
+	for _, f := range server.MetricFamilies() {
+		// build_info and gomaxprocs are label/config metrics with no
+		// time-series panel value.
+		if f == "embedserver_build_info" || f == "go_gomaxprocs" {
+			continue
+		}
+		if !referenced[f] {
+			unreferenced = append(unreferenced, f)
+		}
+	}
+	if len(unreferenced) > 0 {
+		t.Errorf("registered families with no dashboard panel: %v", unreferenced)
+	}
+}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -41,10 +43,18 @@ type Dispatch struct {
 	// idleWait paces the scheduler while no peer is live (waiting for a
 	// health-probe revival); swappable for tests.
 	idleWait time.Duration
+	// span is the job-level parent captured from Run's context: every
+	// execution attempt opens a "dispatch chunk N" child under it (failed
+	// attempts carry an error attr, so requeues show up as extra spans with
+	// gaps), and each worker's returned snapshot is stitched under its
+	// dispatch span.  Set once before any exec goroutine starts; nil when
+	// tracing is off.
+	span *obs.Span
 
 	mu       sync.Mutex
-	next     int // next fresh chunk index to dispatch
-	nextFold int // next chunk index to fold
+	lanes    map[string]int // peer addr → Chrome-export lane (2+)
+	next     int            // next fresh chunk index to dispatch
+	nextFold int            // next chunk index to fold
 	pending  []int
 	buffered map[int]*api.ChunkResult
 	running  map[int]*peer
@@ -90,6 +100,7 @@ func NewDispatch(pool *Pool, job api.JobSubmitRequest, total int) *Dispatch {
 // fold error verbatim, or a fatal dispatch error (a chunk rejected as
 // invalid, or failing maxAttempts times).
 func (d *Dispatch) Run(ctx context.Context, start int, fold func(*api.ChunkResult) error) error {
+	d.span = obs.FromContext(ctx)
 	d.mu.Lock()
 	d.next, d.nextFold = start, start
 	d.mu.Unlock()
@@ -114,7 +125,10 @@ func (d *Dispatch) Run(ctx context.Context, start int, fold func(*api.ChunkResul
 			if !ok {
 				break
 			}
-			if err := fold(res); err != nil {
+			fs := d.span.StartChild(fmt.Sprintf("fold chunk %d", res.Chunk))
+			err := fold(res)
+			fs.End()
+			if err != nil {
 				return err
 			}
 			d.pool.folded.Add(1)
@@ -149,7 +163,28 @@ func (d *Dispatch) Run(ctx context.Context, start int, fold func(*api.ChunkResul
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				res, err := pr.t.Execute(ectx, api.ChunkRequest{Version: api.Version, Job: d.job, Chunk: chunk})
+				req := api.ChunkRequest{Version: api.Version, Job: d.job, Chunk: chunk}
+				dspan := d.span.StartChild(fmt.Sprintf("dispatch chunk %d", chunk))
+				if dspan != nil {
+					dspan.SetAttr("peer", pr.addr)
+					dspan.SetLane(d.lane(pr.addr))
+					d.mu.Lock()
+					att := d.attempts[chunk] + 1
+					d.mu.Unlock()
+					dspan.SetAttr("attempt", att)
+					sc := dspan.Context()
+					req.Trace = &api.TraceContext{TraceID: sc.TraceID, ParentSpanID: sc.SpanID}
+				}
+				res, err := pr.t.Execute(ectx, req)
+				if err != nil {
+					dspan.SetAttr("error", err.Error())
+				} else if res != nil && len(res.Span) > 0 && req.Trace != nil {
+					var snap obs.SpanJSON
+					if json.Unmarshal(res.Span, &snap) == nil && snap.TraceID == req.Trace.TraceID {
+						dspan.AttachRemote(&snap)
+					}
+				}
+				dspan.End()
 				select {
 				case results <- execDone{chunk: chunk, pr: pr, res: res, err: err}:
 				case <-ectx.Done():
@@ -274,6 +309,22 @@ func (d *Dispatch) failChunk(r execDone) {
 	d.requeued++
 	d.pending = insertSorted(d.pending, r.chunk)
 	d.mu.Unlock()
+}
+
+// lane returns the Chrome-export lane for a peer, assigning 2, 3, ... in
+// first-seen order (lane 1 is the coordinator's own root row).
+func (d *Dispatch) lane(addr string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lanes == nil {
+		d.lanes = make(map[string]int)
+	}
+	l, ok := d.lanes[addr]
+	if !ok {
+		l = len(d.lanes) + 2
+		d.lanes[addr] = l
+	}
+	return l
 }
 
 func (d *Dispatch) setFatal(err error) {

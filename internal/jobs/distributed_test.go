@@ -3,6 +3,7 @@ package jobs
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -298,6 +300,136 @@ func TestDistributedResumeWithoutFabricFallsBack(t *testing.T) {
 	}
 	if got := resultsBytes(t, dir, st.ID); !bytes.Equal(got, want) {
 		t.Fatal("local resume of a distributed job differs from single-node")
+	}
+}
+
+// collectSpans walks a span tree pre-order, appending every span to out.
+func collectSpans(t *obs.SpanJSON, out *[]*obs.SpanJSON) {
+	if t == nil {
+		return
+	}
+	*out = append(*out, t)
+	for _, c := range t.Children {
+		collectSpans(c, out)
+	}
+}
+
+// TestDistributedTraceStitched is the cross-node trace guarantee: a 3-peer
+// distributed run (one peer dying mid-run, forcing a requeue) writes ONE
+// trace tree in which every chunk has a coordinator dispatch span with the
+// worker's execution subtree stitched under it, every chunk has exactly one
+// fold span, and the failed attempt is visible as an extra dispatch span
+// with an error attr and no worker subtree — the requeue gap.
+func TestDistributedTraceStitched(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	dying := &dyingTransport{killAt: 1}
+	pool := fabric.NewPool(fabric.Config{
+		Dial: func(addr string) fabric.Transport {
+			if addr == "dying" {
+				return dying
+			}
+			return fabric.Loopback(loopbackExec)
+		},
+		HealthEvery: -1,
+	})
+	t.Cleanup(pool.Close)
+	for _, addr := range []string{"dying", "worker-2", "worker-3"} {
+		if err := pool.Add(addr); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.Fabric = pool
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer closeManager(t, m)
+	st, err := m.Submit(distributed(censusReq(4)))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st = waitTerminal(t, m, st.ID); st.State != api.JobDone {
+		t.Fatalf("job ended %s (error %q), want done", st.State, st.Error)
+	}
+	if pool.Stats().Requeued == 0 {
+		t.Fatal("dying peer produced no requeue; the gap the test exists for never happened")
+	}
+
+	path, err := m.TracePath(st.ID)
+	if err != nil {
+		t.Fatalf("TracePath: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	var root obs.SpanJSON
+	if err := json.Unmarshal(b, &root); err != nil {
+		t.Fatalf("trace is not a span tree: %v", err)
+	}
+	if root.Name != "job" || root.TraceID == "" {
+		t.Fatalf("root = %q (trace %q), want a job root with a trace ID", root.Name, root.TraceID)
+	}
+
+	var all []*obs.SpanJSON
+	collectSpans(&root, &all)
+	total := st.Progress.ChunksTotal
+	var failedAttempts int
+	for chunk := 0; chunk < total; chunk++ {
+		dispatch, exec, fold := 0, 0, 0
+		for _, s := range all {
+			switch s.Name {
+			case fmt.Sprintf("dispatch chunk %d", chunk):
+				dispatch++
+				for _, c := range s.Children {
+					if c.Name == fmt.Sprintf("exec chunk %d", chunk) {
+						exec++
+						if c.TraceID != root.TraceID {
+							t.Errorf("chunk %d: worker subtree trace %q != job trace %q", chunk, c.TraceID, root.TraceID)
+						}
+						if s.SpanID == "" || c.ParentSpanID != s.SpanID {
+							t.Errorf("chunk %d: worker parent span %q != dispatch span %q", chunk, c.ParentSpanID, s.SpanID)
+						}
+					}
+				}
+				for _, a := range s.Attrs {
+					if a.Key == "error" {
+						failedAttempts++
+					}
+				}
+			case fmt.Sprintf("fold chunk %d", chunk):
+				fold++
+			}
+		}
+		if dispatch == 0 {
+			t.Errorf("chunk %d: no dispatch span", chunk)
+		}
+		if exec == 0 {
+			t.Errorf("chunk %d: no stitched worker subtree", chunk)
+		}
+		if fold != 1 {
+			t.Errorf("chunk %d: %d fold spans, want exactly 1", chunk, fold)
+		}
+	}
+	if failedAttempts == 0 {
+		t.Error("requeued chunk left no failed dispatch span (the trace gap is invisible)")
+	}
+
+	// The stitched tree must export as one Chrome trace with all three phases.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, &root); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	for _, phase := range []string{"dispatch chunk", "exec chunk", "fold chunk"} {
+		if !bytes.Contains(buf.Bytes(), []byte(phase)) {
+			t.Errorf("Chrome export missing %q events", phase)
+		}
 	}
 }
 

@@ -500,6 +500,24 @@ func (m *Manager) ArtifactPath(id string) (string, error) {
 	return filepath.Join(j.dir, ArtifactFile), nil
 }
 
+// TracePath returns the span-tree file of a job's last run (written when
+// tracing is active).  Unknown ids are ErrNotFound; a job whose run has not
+// produced a trace yet (still running its first chunks, or tracing disabled)
+// is ErrNotReady.
+func (m *Manager) TracePath(id string) (string, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	p := filepath.Join(j.dir, traceFile)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("%w: job %s has no trace (tracing off, or the run has not finished)", ErrNotReady, id)
+	}
+	return p, nil
+}
+
 // Stats is the manager snapshot exported on /metrics.
 type Stats struct {
 	Queued, Running, Done, Failed, Cancelled int
@@ -621,6 +639,11 @@ func (m *Manager) runJob(j *job) {
 	j.cancelRun = nil
 	j.mu.Unlock()
 
+	// Persist the trace before the terminal status: a client that saw the
+	// job finish must be able to fetch its trace immediately.
+	if !errors.Is(err, errAbandoned) {
+		m.writeTrace(j, span)
+	}
 	switch {
 	case err == nil:
 		m.finalize(j, api.JobDone, nil)
@@ -639,7 +662,6 @@ func (m *Manager) runJob(j *job) {
 	default:
 		m.finalize(j, api.JobFailed, err)
 	}
-	m.writeTrace(j, span)
 }
 
 // finalize moves a job to a terminal state and persists it.  A concurrent
@@ -861,6 +883,7 @@ func (m *Manager) writeTrace(j *job, span *obs.Span) {
 	}
 	span.End()
 	snap := span.Snapshot()
+	snap.TraceID = span.Context().TraceID
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return

@@ -2,9 +2,11 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -53,10 +55,28 @@ func ExecuteChunk(ctx context.Context, req api.ChunkRequest, defaultWorkers int,
 			res, err = nil, fmt.Errorf("jobs: chunk %d panicked: %v", req.Chunk, p)
 		}
 	}()
+	// When the coordinator propagated a trace context, run the chunk under a
+	// local root span and ship its snapshot back, stamped with the caller's
+	// trace ID and parent span ID so the coordinator can validate the stitch.
+	var span *obs.Span
+	if req.Trace != nil && req.Trace.TraceID != "" {
+		ctx, span = obs.StartRoot(ctx, fmt.Sprintf("exec chunk %d", req.Chunk))
+		span.SetAttr("chunk", req.Chunk)
+		span.SetAttr("kind", string(req.Job.Kind))
+	}
 	out, err := dr.remote(ctx, req.Chunk)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	out.Version, out.Chunk = api.Version, req.Chunk
+	if span != nil {
+		snap := span.Snapshot()
+		snap.TraceID = req.Trace.TraceID
+		snap.ParentSpanID = req.Trace.ParentSpanID
+		if raw, merr := json.Marshal(snap); merr == nil {
+			out.Span = raw
+		}
+	}
 	return out, nil
 }

@@ -23,6 +23,8 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +66,54 @@ func ReadStats() Stats {
 	}
 }
 
+// ResetStats zeroes the tracer counters.  Benchmark drivers (embedctl bench)
+// call it so ReadStats deltas are per-run, matching the server-side metric
+// deltas; the /metrics exposition never resets, so the two are only
+// comparable per run window.
+func ResetStats() {
+	spansStarted.Store(0)
+	tracesStarted.Store(0)
+	overheadNS.Store(0)
+}
+
+// Span identity for cross-process propagation: IDs are assigned lazily (only
+// spans that actually cross a process boundary pay for one) from a
+// per-process random prefix plus a counter, so coordinator- and
+// worker-minted IDs cannot collide within a trace.
+var (
+	idSeed    = rand.Uint64()
+	idCounter atomic.Uint64
+)
+
+func newID() string {
+	return fmt.Sprintf("%08x-%x", uint32(idSeed), idCounter.Add(1))
+}
+
+// SpanContext is a span's propagable wire identity: enough for a remote
+// process to run work under a child of this span and for the originator to
+// validate the returned snapshot before stitching it in.  The zero value
+// means "no trace" — both sides treat it as tracing-off.
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// Context returns the span's wire identity, minting IDs on first use.  The
+// trace ID is shared by every span of the trace (assigned at StartRoot); the
+// span ID is unique to s.  Nil-safe: returns the zero SpanContext.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	if s.id == "" {
+		s.id = newID()
+	}
+	sc := SpanContext{TraceID: s.traceID, SpanID: s.id}
+	s.mu.Unlock()
+	return sc
+}
+
 // Attr is one span attribute.  Values should be JSON-marshalable scalars.
 type Attr struct {
 	Key   string `json:"key"`
@@ -76,12 +126,17 @@ type Attr struct {
 type Span struct {
 	name  string
 	start time.Time
+	// traceID is inherited root → children at creation and immutable after,
+	// so it is read without the lock.
+	traceID string
 
 	mu       sync.Mutex
-	durNS    int64 // -1 while running
-	lane     int   // Chrome-export lane (tid); 0 inherits the parent's
+	id       string // wire span ID; minted lazily by Context()
+	durNS    int64  // -1 while running
+	lane     int    // Chrome-export lane (tid); 0 inherits the parent's
 	attrs    []Attr
 	children []*Span
+	remote   []*SpanJSON // pre-snapshotted subtrees grafted by AttachRemote
 }
 
 type ctxKey struct{}
@@ -107,7 +162,7 @@ func StartRoot(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	t0 := time.Now()
-	s := &Span{name: name, start: t0, durNS: -1}
+	s := &Span{name: name, start: t0, durNS: -1, traceID: newID()}
 	tracesStarted.Add(1)
 	spansStarted.Add(1)
 	overheadNS.Add(int64(time.Since(t0)))
@@ -136,7 +191,7 @@ func (s *Span) StartChild(name string) *Span {
 		return nil
 	}
 	t0 := time.Now()
-	c := &Span{name: name, start: t0, durNS: -1}
+	c := &Span{name: name, start: t0, durNS: -1, traceID: s.traceID}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -189,12 +244,33 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// AttachRemote grafts a snapshot produced by another process — a worker's
+// chunk subtree — under s: Snapshot() appends it after the locally started
+// children.  The caller hands over ownership of snap (it is not deep-copied).
+// Nil-safe on both sides.
+func (s *Span) AttachRemote(snap *SpanJSON) {
+	if s == nil || snap == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, snap)
+	s.mu.Unlock()
+}
+
 // SpanJSON is the exported form of a span tree: a deep, immutable copy safe
 // to marshal and to hand across API boundaries.
 type SpanJSON struct {
 	Name        string `json:"name"`
 	StartUnixNS int64  `json:"start_unix_ns"`
 	DurationNS  int64  `json:"duration_ns"`
+	// TraceID / SpanID / ParentSpanID are the wire-propagation identity.
+	// SpanID appears only on spans whose Context() was taken (e.g. fabric
+	// dispatch spans); TraceID and ParentSpanID are stamped by whoever ships
+	// the snapshot across a process boundary (jobs.ExecuteChunk on workers,
+	// writeTrace on the root), so purely-local traces stay byte-stable.
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// Unfinished marks spans still running at snapshot time (their
 	// DurationNS is the elapsed time so far) — the per-request root and the
 	// encode phase are snapshotted mid-flight by design.
@@ -215,12 +291,14 @@ func (s *Span) Snapshot() *SpanJSON {
 		Name:        s.name,
 		StartUnixNS: s.start.UnixNano(),
 		DurationNS:  s.durNS,
+		SpanID:      s.id,
 		Lane:        s.lane,
 	}
 	if len(s.attrs) > 0 {
 		out.Attrs = append([]Attr(nil), s.attrs...)
 	}
 	kids := append([]*Span(nil), s.children...)
+	remote := append([]*SpanJSON(nil), s.remote...)
 	s.mu.Unlock()
 	if out.DurationNS < 0 {
 		out.Unfinished = true
@@ -229,6 +307,7 @@ func (s *Span) Snapshot() *SpanJSON {
 	for _, c := range kids {
 		out.Children = append(out.Children, c.Snapshot())
 	}
+	out.Children = append(out.Children, remote...)
 	return out
 }
 

@@ -171,6 +171,92 @@ func TestStatsCounters(t *testing.T) {
 	})
 }
 
+func TestResetStats(t *testing.T) {
+	withEnabled(t, true, func() {
+		_, root := StartRoot(context.Background(), "root")
+		root.End()
+		if s := ReadStats(); s.Spans == 0 || s.Traces == 0 {
+			t.Fatalf("expected non-zero stats before reset: %+v", s)
+		}
+		ResetStats()
+		if s := ReadStats(); s.Spans != 0 || s.Traces != 0 || s.OverheadNS != 0 {
+			t.Fatalf("stats after reset = %+v, want zeros", s)
+		}
+	})
+}
+
+func TestSpanContext(t *testing.T) {
+	withEnabled(t, true, func() {
+		ctx, root := StartRoot(context.Background(), "root")
+		_, child := Start(ctx, "child")
+		rc, cc := root.Context(), child.Context()
+		if rc.TraceID == "" || rc.SpanID == "" {
+			t.Fatalf("root context incomplete: %+v", rc)
+		}
+		if cc.TraceID != rc.TraceID {
+			t.Fatalf("child trace ID %q != root trace ID %q", cc.TraceID, rc.TraceID)
+		}
+		if cc.SpanID == rc.SpanID {
+			t.Fatalf("child span ID %q collides with root", cc.SpanID)
+		}
+		if again := child.Context(); again != cc {
+			t.Fatalf("Context not stable: %+v then %+v", cc, again)
+		}
+		_, other := StartRoot(context.Background(), "other")
+		if other.Context().TraceID == rc.TraceID {
+			t.Fatal("two roots share a trace ID")
+		}
+		var nilSpan *Span
+		if sc := nilSpan.Context(); sc != (SpanContext{}) {
+			t.Fatalf("nil Context = %+v, want zero", sc)
+		}
+		child.End()
+		root.End()
+		// Only spans whose Context was taken carry a span_id in the export.
+		snap := root.Snapshot()
+		if snap.SpanID != rc.SpanID || snap.Children[0].SpanID != cc.SpanID {
+			t.Fatalf("snapshot IDs not preserved: %+v", snap)
+		}
+		_, plain := StartRoot(context.Background(), "plain")
+		plain.End()
+		if got := plain.Snapshot().SpanID; got != "" {
+			t.Fatalf("untouched span exported span_id %q, want empty", got)
+		}
+	})
+}
+
+func TestAttachRemote(t *testing.T) {
+	withEnabled(t, true, func() {
+		_, root := StartRoot(context.Background(), "root")
+		local := root.StartChild("local")
+		local.End()
+		remote := &SpanJSON{
+			Name:         "remote chunk",
+			DurationNS:   42,
+			TraceID:      root.Context().TraceID,
+			ParentSpanID: root.Context().SpanID,
+		}
+		root.AttachRemote(remote)
+		root.AttachRemote(nil) // no-op
+		root.End()
+		snap := root.Snapshot()
+		if len(snap.Children) != 2 {
+			t.Fatalf("children = %d, want local + remote", len(snap.Children))
+		}
+		if snap.Children[0].Name != "local" || snap.Children[1].Name != "remote chunk" {
+			t.Fatalf("remote subtree not appended after local children: %+v", snap.Children)
+		}
+		if snap.Children[1].ParentSpanID != snap.SpanID {
+			t.Fatal("remote parent_span_id does not match the stitched parent")
+		}
+		if snap.Count() != 3 {
+			t.Fatalf("count = %d, want 3", snap.Count())
+		}
+		var nilSpan *Span
+		nilSpan.AttachRemote(remote) // nil-safe
+	})
+}
+
 func TestChromeExport(t *testing.T) {
 	withEnabled(t, true, func() {
 		ctx, root := StartRoot(context.Background(), "root")

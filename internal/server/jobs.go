@@ -95,6 +95,23 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	http.ServeFile(w, r, path)
 }
 
+// handleJobTrace downloads a job's span tree — for a distributed job, the
+// single trace stitched from coordinator dispatch/fold spans and every
+// worker's chunk subtrees.  409 until a run has written one (embedctl trace
+// -job renders it as a Chrome trace).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsManager(w, r) {
+		return
+	}
+	path, err := s.jobs.TracePath(r.PathValue("id"))
+	if err != nil {
+		respondErr(w, r, jobsError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, path)
+}
+
 // resultsPollInterval paces the long-poll loop in handleJobResults.  A
 // variable, not a constant, so tests can tighten it.
 var resultsPollInterval = 150 * time.Millisecond

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fabric/fabrichttp"
+	"repro/internal/jobs"
+	"repro/pkg/api"
+)
+
+// familyName is the Prometheus metric-name grammar this repo commits to:
+// stricter than the spec (no uppercase, no colons) because every family we
+// emit is lowercase snake_case and dashboards key off that.
+var familyName = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// TestMetricsConformance is the /metrics lint the ISSUE asks for: against a
+// server that has served plan, embed, compare, job, fabric, and SSE traffic
+// (so no family is dead), the exposition must
+//   - expose exactly the families MetricFamilies() declares (dashgen's
+//     contract) — nothing missing, nothing undeclared;
+//   - carry exactly one HELP and one TYPE line per family;
+//   - use names matching [a-z_][a-z0-9_]*;
+//   - render histogram _bucket series cumulative, ending in le="+Inf" with a
+//     count equal to the _count sample.
+func TestMetricsConformance(t *testing.T) {
+	// A worker so the coordinator's fabric gauges have a live peer.
+	worker := httptest.NewServer(New(Config{FabricSecret: testSecret}).Handler())
+	t.Cleanup(worker.Close)
+
+	s := New(Config{FabricSecret: testSecret})
+	if err := s.AttachArtifact(buildArtifact(t, 3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	pool := fabric.NewPool(fabric.Config{Dial: fabrichttp.Dialer(testSecret), HealthEvery: -1})
+	t.Cleanup(pool.Close)
+	if err := pool.Add(worker.URL); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachFabric(pool)
+	m, err := jobs.Open(jobs.Config{
+		DataDir: t.TempDir(),
+		Planner: s.Planner(),
+		Fabric:  pool,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	s.AttachJobs(m)
+	h := s.Handler()
+
+	// Exercise every subsystem: serving endpoints (traced embed moves the
+	// obs counters, a repeated plan moves the cache-hit tiers), a
+	// distributed job (fabric dispatch/fold counters), and an SSE stream.
+	for _, req := range []struct{ path, body string }{
+		{"/v1/plan", `{"shape":"3x4x5"}`},
+		{"/v1/plan", `{"shape":"3x4x5"}`},
+		{"/v1/embed?debug=trace", `{"shape":"4x4x4"}`},
+		{"/v1/compare", `{"shape":"3x3x5"}`},
+	} {
+		if rec := doReq(t, h, http.MethodPost, req.path, req.body, nil); rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", req.path, rec.Code, rec.Body.String())
+		}
+	}
+	st := submitJob(t, h, `{"kind":"census","census":{"max_n":3},"distributed":true}`)
+	if fin := waitJobDone(t, h, st.ID); fin.State != api.JobDone {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Error)
+	}
+	if rec := doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/events", "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("events: %d", rec.Code)
+	}
+
+	body := scrape(t, s)
+
+	// Lint pass over the raw exposition.
+	helps := make(map[string]int)
+	types := make(map[string]int)
+	kind := make(map[string]string)
+	var order []string
+	type bucketKey struct{ family, labels string }
+	bucketSeen := make(map[bucketKey][]struct {
+		le  string
+		val float64
+	})
+	counts := make(map[bucketKey]float64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 || f[3] == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			helps[f[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			if types[f[2]] == 0 {
+				order = append(order, f[2])
+			}
+			types[f[2]]++
+			kind[f[2]] = f[3]
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		name, labels := m[1], strings.Trim(m[2], "{}")
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && kind[base] == "histogram" {
+			// Split off the le label; the rest identifies the series.
+			var le, rest string
+			for _, kv := range strings.Split(labels, ",") {
+				if val, ok := strings.CutPrefix(kv, "le="); ok {
+					le = strings.Trim(val, `"`)
+				} else if kv != "" {
+					rest += kv + ","
+				}
+			}
+			if le == "" {
+				t.Fatalf("bucket sample without le label: %q", line)
+			}
+			k := bucketKey{base, rest}
+			bucketSeen[k] = append(bucketSeen[k], struct {
+				le  string
+				val float64
+			}{le, v})
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok && kind[base] == "histogram" {
+			counts[bucketKey{base, labels + ","}] = v
+		}
+	}
+
+	// Exactly one HELP and one TYPE per family, names within the grammar.
+	for fam, n := range types {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", fam, n)
+		}
+		if helps[fam] != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", fam, helps[fam])
+		}
+		if !familyName.MatchString(fam) {
+			t.Errorf("family name %q violates %s", fam, familyName)
+		}
+	}
+	for fam := range helps {
+		if types[fam] == 0 {
+			t.Errorf("family %s has HELP but no TYPE", fam)
+		}
+	}
+
+	// The exposed family set is exactly the declared contract.
+	sort.Strings(order)
+	want := MetricFamilies()
+	if strings.Join(order, "\n") != strings.Join(want, "\n") {
+		missing, extra := diffStrings(want, order)
+		t.Errorf("exposed families diverge from MetricFamilies():\n  missing from scrape: %v\n  undeclared in promtext.go: %v",
+			missing, extra)
+	}
+
+	// Histogram buckets: cumulative in emission order, ending at +Inf with
+	// the series count.
+	if len(bucketSeen) == 0 {
+		t.Fatal("no histogram bucket series in a traffic-exercised scrape")
+	}
+	for k, series := range bucketSeen {
+		prev := -1.0
+		for _, s := range series {
+			if s.val < prev {
+				t.Errorf("%s{%sle=%q}: bucket value %v below previous %v (not cumulative)",
+					k.family, k.labels, s.le, s.val, prev)
+			}
+			prev = s.val
+		}
+		last := series[len(series)-1]
+		if last.le != "+Inf" {
+			t.Errorf("%s{%s}: last bucket le=%q, want +Inf", k.family, k.labels, last.le)
+		}
+		if c, ok := counts[k]; !ok || c != last.val {
+			t.Errorf("%s{%s}: +Inf bucket %v != _count %v", k.family, k.labels, last.val, c)
+		}
+	}
+
+	// Spot checks that the traffic actually moved the families dashboards
+	// alert on — a conformance pass over dead zeros would prove nothing.
+	samples := parseExposition(t, body)
+	for _, want := range []string{
+		"embedserver_plan_cache_hits_total",
+		"embedserver_jobs_done",
+		"embedserver_fabric_chunks_dispatched_total",
+		"embedserver_fabric_chunks_folded_total",
+		"embedserver_sse_events_total",
+		"obs_spans_started_total",
+	} {
+		if samples[want] <= 0 {
+			t.Errorf("%s = %v after traffic, want > 0", want, samples[want])
+		}
+	}
+}
+
+// diffStrings reports elements of want missing from got and vice versa
+// (both sorted).
+func diffStrings(want, got []string) (missing, extra []string) {
+	w := make(map[string]bool, len(want))
+	for _, s := range want {
+		w[s] = true
+	}
+	g := make(map[string]bool, len(got))
+	for _, s := range got {
+		g[s] = true
+		if !w[s] {
+			extra = append(extra, s)
+		}
+	}
+	for _, s := range want {
+		if !g[s] {
+			missing = append(missing, s)
+		}
+	}
+	return missing, extra
+}

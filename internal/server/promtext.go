@@ -181,6 +181,65 @@ func (m *metrics) render(b *strings.Builder, gauges []gauge) {
 	}
 }
 
+// metricFamilyNames is the canonical, sorted list of every metric family
+// this server can expose on /metrics.  It is the contract three consumers
+// check against: cmd/dashgen refuses to emit a dashboard panel whose PromQL
+// references a family not listed here, the promtext conformance test
+// requires a traffic-exercised scrape to expose exactly this set, and code
+// review gets one place to look when a gauge is added.  Adding a metric to
+// handleMetrics / runtimeGauges without extending this list is a test
+// failure, not a silent drift.
+var metricFamilyNames = []string{
+	"embedserver_build_info",
+	"embedserver_coalesced_total",
+	"embedserver_fabric_chunks_dispatched_total",
+	"embedserver_fabric_chunks_folded_total",
+	"embedserver_fabric_chunks_requeued_total",
+	"embedserver_fabric_peer_inflight",
+	"embedserver_fabric_peers",
+	"embedserver_inflight",
+	"embedserver_jobs_cancelled",
+	"embedserver_jobs_chunks_done_total",
+	"embedserver_jobs_done",
+	"embedserver_jobs_failed",
+	"embedserver_jobs_queue_capacity",
+	"embedserver_jobs_queued",
+	"embedserver_jobs_result_bytes_total",
+	"embedserver_jobs_retries_total",
+	"embedserver_jobs_running",
+	"embedserver_jobs_shapes_total",
+	"embedserver_plan_artifact_records",
+	"embedserver_plan_cache_entries",
+	"embedserver_plan_cache_hits_total",
+	"embedserver_plan_cache_misses_total",
+	"embedserver_plan_tier_artifact_total",
+	"embedserver_plan_tier_closed_form_total",
+	"embedserver_plan_tier_compute_total",
+	"embedserver_plan_tier_l0_total",
+	"embedserver_request_seconds",
+	"embedserver_requests_total",
+	"embedserver_result_cache_entries",
+	"embedserver_result_cache_evictions_total",
+	"embedserver_result_cache_hits_total",
+	"embedserver_result_cache_misses_total",
+	"embedserver_shed_total",
+	"embedserver_sse_dropped_total",
+	"embedserver_sse_events_total",
+	"embedserver_sse_subscribers",
+	"go_gc_pause_total_seconds",
+	"go_gomaxprocs",
+	"go_goroutines",
+	"go_heap_alloc_bytes",
+	"obs_span_overhead_seconds_total",
+	"obs_spans_started_total",
+	"obs_traces_started_total",
+}
+
+// MetricFamilies returns the canonical family-name list (a copy, sorted).
+func MetricFamilies() []string {
+	return append([]string(nil), metricFamilyNames...)
+}
+
 // gauge is one single-valued exposition line.  labels, when non-empty, is a
 // pre-rendered label set ("k=\"v\",...") emitted inside braces.
 type gauge struct {

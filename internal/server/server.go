@@ -8,7 +8,9 @@
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job status and progress
 //	GET    /v1/jobs/{id}/results stream the job's NDJSON results (offset-resumable)
+//	GET    /v1/jobs/{id}/events  live job stream over SSE (rows + progress; Last-Event-ID resume)
 //	GET    /v1/jobs/{id}/artifact download a finished plancensus job's artifact
+//	GET    /v1/jobs/{id}/trace   download the job's span tree (stitched across the fabric)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus text exposition
@@ -147,12 +149,13 @@ type Server struct {
 	jobs     *jobs.Manager      // nil until AttachJobs; jobs endpoints 503 without it
 	artifact *artifact.Artifact // nil until AttachArtifact; L1 plan tier (see tiers.go)
 	pool     *fabric.Pool       // nil until AttachFabric; peer endpoints 503 without it
+	sse      *sseHub            // live job-event fanout (see sse.go)
 }
 
 // New returns a Server with cfg's zero fields defaulted.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		planner: core.NewPlanner(cfg.Opts),
 		cache:   newLRUCache(cfg.CacheSize),
@@ -160,6 +163,8 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		m:       newMetrics(),
 	}
+	s.sse = newSSEHub(s)
+	return s
 }
 
 // Planner exposes the server's planner so the job manager can share it (a
@@ -197,6 +202,10 @@ func (s *Server) Handler() http.Handler {
 	// download can be hundreds of MB, so it too stays outside the timeout.
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleJobArtifact)
+	// The SSE stream follows the job for its whole life (same reasoning);
+	// the trace download is one small file but pairs with the artifact.
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	// Fabric: chunk execution is long-running compute and lives outside
 	// instrument for the same reason as the results stream; the peer
 	// endpoints are tiny but share the secret guard, so they stay together.
@@ -817,6 +826,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			)
 		}
 	}
+	gauges = append(gauges,
+		gauge{name: "embedserver_sse_subscribers", help: "Live SSE job-event subscribers.", kind: "gauge", value: float64(s.sse.subscribers.Load())},
+		gauge{name: "embedserver_sse_events_total", help: "SSE events delivered to subscriber buffers.", kind: "counter", value: float64(s.sse.events.Load())},
+		gauge{name: "embedserver_sse_dropped_total", help: "SSE subscribers dropped for falling behind (slow clients).", kind: "counter", value: float64(s.sse.dropped.Load())},
+	)
 	gauges = append(gauges, runtimeGauges()...)
 	gauges = append(gauges, buildInfoGauge())
 	var b strings.Builder

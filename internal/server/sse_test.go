@@ -1,0 +1,342 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/pkg/api"
+)
+
+// sseTestEvent is one parsed text/event-stream frame.  id is -1 when the
+// frame carried no id line.
+type sseTestEvent struct {
+	typ  string
+	id   int64
+	data string
+}
+
+// parseSSE parses a text/event-stream body into its frames, failing the test
+// on any framing violation (unknown field, bad id, dataless frame).
+func parseSSE(t *testing.T, body string) []sseTestEvent {
+	t.Helper()
+	var out []sseTestEvent
+	for _, block := range strings.Split(body, "\n\n") {
+		if block == "" {
+			continue
+		}
+		ev := sseTestEvent{id: -1}
+		seenData := false
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.typ = line[len("event: "):]
+			case strings.HasPrefix(line, "id: "):
+				id, err := strconv.ParseInt(line[len("id: "):], 10, 64)
+				if err != nil {
+					t.Fatalf("bad SSE id line %q: %v", line, err)
+				}
+				ev.id = id
+			case strings.HasPrefix(line, "data: "):
+				ev.data = line[len("data: "):]
+				seenData = true
+			default:
+				t.Fatalf("unexpected SSE line %q", line)
+			}
+		}
+		if ev.typ == "" || !seenData {
+			t.Fatalf("SSE frame missing event/data: %q", block)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// sseRows filters the row events and re-derives the NDJSON stream they
+// carry, checking that each row's id is the byte offset just past its line.
+func sseRows(t *testing.T, evs []sseTestEvent, from int64) (rows []sseTestEvent, ndjson string) {
+	t.Helper()
+	cur := from
+	var b strings.Builder
+	for _, ev := range evs {
+		if ev.typ != "row" {
+			if ev.id != -1 {
+				t.Fatalf("%s event carries id %d, want none", ev.typ, ev.id)
+			}
+			continue
+		}
+		want := cur + int64(len(ev.data)) + 1
+		if ev.id != want {
+			t.Fatalf("row id = %d, want %d (offset %d + %d data bytes + newline)",
+				ev.id, want, cur, len(ev.data))
+		}
+		cur = ev.id
+		b.WriteString(ev.data)
+		b.WriteByte('\n')
+		rows = append(rows, ev)
+	}
+	return rows, b.String()
+}
+
+// TestSSEStreamMatchesResultsDownload: the full event stream of a finished
+// job re-assembles byte-identically into the NDJSON download, interleaves at
+// least one progress event, and terminates with a done event carrying the
+// terminal status.
+func TestSSEStreamMatchesResultsDownload(t *testing.T) {
+	_, h := newJobServer(t, jobs.Config{})
+	st := submitJob(t, h, `{"kind":"census","census":{"max_n":4}}`)
+	if fin := waitJobDone(t, h, st.ID); fin.State != api.JobDone {
+		t.Fatalf("job ended %s", fin.State)
+	}
+	ndjson := doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/results", "", nil)
+	if ndjson.Code != http.StatusOK {
+		t.Fatalf("results: %d", ndjson.Code)
+	}
+
+	rec := doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/events", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events: %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	evs := parseSSE(t, rec.Body.String())
+	rows, got := sseRows(t, evs, 0)
+	if got != ndjson.Body.String() {
+		t.Fatalf("reassembled rows differ from NDJSON download (%d vs %d bytes)",
+			len(got), ndjson.Body.Len())
+	}
+	if len(rows) == 0 {
+		t.Fatal("no row events")
+	}
+	last := evs[len(evs)-1]
+	if last.typ != "done" {
+		t.Fatalf("last event = %q, want done", last.typ)
+	}
+	if !strings.Contains(last.data, `"done"`) {
+		t.Fatalf("done event data %q does not carry the terminal status", last.data)
+	}
+	var progress bool
+	for _, ev := range evs {
+		if ev.typ == "progress" {
+			progress = true
+		}
+	}
+	if !progress {
+		t.Error("stream carried no progress event")
+	}
+
+	// rows=off: same stream shape, no row events.
+	rec = doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/events?rows=off", "", nil)
+	evs = parseSSE(t, rec.Body.String())
+	for _, ev := range evs {
+		if ev.typ == "row" {
+			t.Fatalf("rows=off stream still carries row events")
+		}
+	}
+	if evs[len(evs)-1].typ != "done" {
+		t.Fatalf("rows=off stream did not end with done")
+	}
+}
+
+// openJobServerAt opens a server over an existing jobs data dir and returns
+// the manager so the test can stop it ("kill the server") mid-scenario.
+func openJobServerAt(t *testing.T, dir string) (*Server, http.Handler, *jobs.Manager) {
+	t.Helper()
+	s := New(Config{})
+	m, err := jobs.Open(jobs.Config{
+		DataDir: dir,
+		Planner: s.Planner(),
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachJobs(m)
+	return s, s.Handler(), m
+}
+
+// TestSSEResumeAcrossRestart is the ISSUE's resume criterion: a client that
+// consumed a prefix of the stream before the server died reconnects to a
+// fresh process on the same data dir with Last-Event-ID, and the
+// concatenation of the two streams' row payloads is byte-identical to the
+// NDJSON download.
+func TestSSEResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, h, m := openJobServerAt(t, dir)
+	st := submitJob(t, h, `{"kind":"census","census":{"max_n":4}}`)
+	if fin := waitJobDone(t, h, st.ID); fin.State != api.JobDone {
+		t.Fatalf("job ended %s", fin.State)
+	}
+	ndjson := doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/results", "", nil).Body.String()
+
+	// First connection: the "client" processes only the first half of the
+	// rows before its server is killed — exactly the state of a consumer cut
+	// off mid-stream, since SSE delivers a prefix in order.
+	rec := doReq(t, h, http.MethodGet, "/v1/jobs/"+st.ID+"/events", "", nil)
+	rows, _ := sseRows(t, parseSSE(t, rec.Body.String()), 0)
+	if len(rows) < 2 {
+		t.Fatalf("need at least 2 rows to cut the stream, got %d", len(rows))
+	}
+	prefix := rows[:len(rows)/2]
+	lastID := prefix[len(prefix)-1].id
+	var got strings.Builder
+	for _, ev := range prefix {
+		got.WriteString(ev.data)
+		got.WriteByte('\n')
+	}
+
+	// Kill: stop the manager, then bring up a new server on the same dir.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	m.Close(ctx)
+	cancel()
+	_, h2, m2 := openJobServerAt(t, dir)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	})
+
+	// Reconnect with Last-Event-ID; rows resume at the exact byte offset.
+	rec = doReq(t, h2, http.MethodGet, "/v1/jobs/"+st.ID+"/events", "",
+		map[string]string{"Last-Event-ID": strconv.FormatInt(lastID, 10)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resumed events: %d %s", rec.Code, rec.Body.String())
+	}
+	resumed, tail := sseRows(t, parseSSE(t, rec.Body.String()), lastID)
+	if len(resumed) == 0 {
+		t.Fatal("resumed stream carried no rows")
+	}
+	if first := resumed[0].id; first <= lastID {
+		t.Fatalf("resumed stream replayed already-consumed rows (first id %d <= %d)", first, lastID)
+	}
+	got.WriteString(tail)
+	if got.String() != ndjson {
+		t.Fatalf("prefix + resumed rows differ from NDJSON download (%d vs %d bytes)",
+			got.Len(), len(ndjson))
+	}
+
+	// An offset past the committed length is a client bug, not a hang.
+	rec = doReq(t, h2, http.MethodGet, "/v1/jobs/"+st.ID+"/events", "",
+		map[string]string{"Last-Event-ID": strconv.FormatInt(int64(len(ndjson))+1, 10)})
+	decodeEnvelope(t, rec, http.StatusBadRequest, api.CodeBadRequest)
+}
+
+// TestSSESlowSubscriberDropped: a subscriber that stops draining is evicted
+// once its buffer fills — the broadcast never blocks — and the eviction is
+// visible on /metrics.
+func TestSSESlowSubscriberDropped(t *testing.T) {
+	s := New(Config{})
+	hub := s.sse
+	f := &sseFeed{hub: hub, id: "stalled", subs: make(map[*sseSub]struct{})}
+	sub := &sseSub{ch: make(chan sseEvent, sseSubBuffer)}
+	hub.mu.Lock()
+	hub.feeds[f.id] = f
+	f.subs[sub] = struct{}{}
+	hub.mu.Unlock()
+	hub.subscribers.Add(1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < sseSubBuffer+8; i++ {
+			f.broadcast(sseEvent{typ: "progress", id: -1, data: []byte("{}")})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("broadcast blocked on a stalled subscriber")
+	}
+	if !sub.dropped.Load() {
+		t.Fatal("stalled subscriber was not marked dropped")
+	}
+	closed := false
+	timeout := time.After(5 * time.Second)
+	for !closed {
+		select {
+		case _, ok := <-sub.ch:
+			closed = !ok
+		case <-timeout:
+			t.Fatal("dropped subscriber's channel was not closed")
+		}
+	}
+	if got := hub.dropped.Load(); got != 1 {
+		t.Fatalf("hub.dropped = %d, want 1", got)
+	}
+	if got := hub.subscribers.Load(); got != 0 {
+		t.Fatalf("hub.subscribers = %d, want 0 after drop", got)
+	}
+	samples := parseExposition(t, scrape(t, s))
+	if v := samples["embedserver_sse_dropped_total"]; v != 1 {
+		t.Fatalf("embedserver_sse_dropped_total = %v, want 1", v)
+	}
+	hub.mu.Lock()
+	delete(hub.feeds, f.id)
+	hub.mu.Unlock()
+}
+
+// BenchmarkSSEFanout measures broadcast-to-drain throughput at several
+// fanout widths; the derived events/s metric lands in BENCH_PR9.json via
+// make bench-json.  A catch-up barrier every half-buffer keeps the drainers
+// within the subscriber buffer, so the number measures delivery to live
+// clients rather than the cost of evicting everyone and broadcasting into an
+// empty map.
+func BenchmarkSSEFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 128} {
+		b.Run("subs="+strconv.Itoa(subs), func(b *testing.B) {
+			s := New(Config{})
+			hub := s.sse
+			f := &sseFeed{hub: hub, id: "bench", subs: make(map[*sseSub]struct{})}
+			hub.mu.Lock()
+			hub.feeds[f.id] = f
+			hub.mu.Unlock()
+			var delivered atomic.Int64
+			var drained sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub := &sseSub{ch: make(chan sseEvent, sseSubBuffer)}
+				hub.mu.Lock()
+				f.subs[sub] = struct{}{}
+				hub.mu.Unlock()
+				hub.subscribers.Add(1)
+				drained.Add(1)
+				go func() {
+					defer drained.Done()
+					for range sub.ch {
+						delivered.Add(1)
+					}
+				}()
+			}
+			row := []byte(`{"shape":"4x4x4","plan":"bench"}`)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.broadcast(sseEvent{typ: "row", id: int64(i+1) * int64(len(row)+1), data: row})
+				if (i+1)%(sseSubBuffer/2) == 0 {
+					target := int64(i+1) * int64(subs)
+					for delivered.Load() < target {
+						runtime.Gosched()
+					}
+				}
+			}
+			for delivered.Load() < int64(b.N)*int64(subs) {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			f.finish(nil)
+			drained.Wait()
+			if n := hub.dropped.Load(); n != 0 {
+				b.Fatalf("%d subscribers dropped during a paced benchmark", n)
+			}
+			b.ReportMetric(float64(delivered.Load())/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -32,6 +32,19 @@ type ChunkRequest struct {
 	Version int              `json:"version"`
 	Job     JobSubmitRequest `json:"job"`
 	Chunk   int              `json:"chunk"`
+	// Trace is the coordinator's dispatch-span identity.  When set, the
+	// worker runs the chunk under a child span and returns its snapshot in
+	// ChunkResult.Span; when absent (tracing off) the worker records nothing.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext propagates a span identity across the fabric: TraceID names
+// the coordinator job's trace, ParentSpanID the dispatch span the worker's
+// subtree will be stitched under.  Mirrors obs.SpanContext without importing
+// it — pkg/api stays dependency-free.
+type TraceContext struct {
+	TraceID      string `json:"trace_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 }
 
 // ChunkResult is the reply: the chunk's deterministic output.  Exactly one
@@ -57,6 +70,11 @@ type ChunkResult struct {
 	// kinds and for plancensus.
 	Agg   json.RawMessage `json:"agg,omitempty"`
 	Plans []PlanEntry     `json:"plans,omitempty"`
+	// Span is the worker's obs.SpanJSON snapshot of this chunk's execution,
+	// present only when the request carried a TraceContext.  It is opaque
+	// bytes at this layer; the coordinator unmarshals and stitches it into
+	// the job trace after validating its trace ID.
+	Span json.RawMessage `json:"span,omitempty"`
 }
 
 // PlanEntry is one plancensus plan in a position-independent form: exactly

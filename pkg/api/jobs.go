@@ -79,9 +79,9 @@ type JobSubmitRequest struct {
 	// server has no fabric configured.
 	Distributed bool              `json:"distributed,omitempty"`
 	Census      *CensusParams     `json:"census,omitempty"`
-	Epsilon    *EpsilonParams    `json:"epsilon,omitempty"`
-	PlanSweep  *PlanSweepParams  `json:"plansweep,omitempty"`
-	PlanCensus *PlanCensusParams `json:"plancensus,omitempty"`
+	Epsilon     *EpsilonParams    `json:"epsilon,omitempty"`
+	PlanSweep   *PlanSweepParams  `json:"plansweep,omitempty"`
+	PlanCensus  *PlanCensusParams `json:"plancensus,omitempty"`
 }
 
 // CensusParams parameterizes a census job: axes range over 1..2^MaxN

@@ -1,0 +1,214 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Live job streaming over server-sent events (GET /v1/jobs/{id}/events).
+//
+// The SSE stream carries the same committed-offset protocol as the NDJSON
+// results download: every "row" event is one result line and its id is the
+// byte offset just past that line, so Event.ID of the last row consumed is
+// exactly the offset to resume from — on this endpoint (as Last-Event-ID)
+// or on JobResults.  "progress", "fabric" and "done" events interleave with
+// the rows and carry no id.
+
+// JobEvent is one server-sent event from the live job stream.
+type JobEvent struct {
+	// Type is "row", "progress", "fabric" or "done".
+	Type string
+	// ID is the result-stream byte offset after this row, or -1 for the
+	// id-less event types.
+	ID int64
+	// Data is the event payload: a result NDJSON line (row), an
+	// api.JobStatus (progress, done), or an api.FabricStatus (fabric).
+	Data []byte
+}
+
+// EventStream is an open SSE connection.  Not safe for concurrent use.
+type EventStream struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+	// lastRow tracks the byte offset of the last row event returned, for
+	// resuming after a drop (starts at the connect offset).
+	lastRow int64
+}
+
+// JobEvents opens the live event stream for a job from the given result
+// byte offset (0 for the beginning).  With rows=false the server omits row
+// events — the cheap mode for progress watching.  The stream ends (Next
+// returns io.EOF) after the "done" event, or earlier if the server drops a
+// slow consumer; resume by reconnecting from LastRowID.
+func (c *Client) JobEvents(ctx context.Context, id string, offset int64, rows bool) (*EventStream, error) {
+	path := "/v1/jobs/" + id + "/events"
+	if !rows {
+		path += "?rows=off"
+	}
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if offset > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(offset, 10))
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if attempt >= c.retries || !transientDial(err) {
+				return nil, err
+			}
+			if serr := c.sleep(ctx, delay); serr != nil {
+				return nil, err
+			}
+			delay *= 2
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return &EventStream{body: resp.Body, br: bufio.NewReader(resp.Body), lastRow: offset}, nil
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		apiErr := decodeError(resp, data)
+		if attempt >= c.retries || !retryable(apiErr) {
+			return nil, apiErr
+		}
+		wait := delay
+		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > wait {
+			wait = hint
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return nil, apiErr
+		}
+		delay *= 2
+	}
+}
+
+// Next returns the next event.  io.EOF means the server closed the stream —
+// after "done" that is the normal end; without one it was a drop, and the
+// caller should reconnect from LastRowID.
+func (s *EventStream) Next() (*JobEvent, error) {
+	ev := &JobEvent{ID: -1}
+	var data []byte
+	seen := false
+	for {
+		line, err := s.br.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF && len(bytes.TrimSpace(line)) == 0 {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		switch {
+		case len(line) == 0:
+			if !seen {
+				continue // stray blank (keep-alive), keep reading
+			}
+			ev.Data = data
+			if ev.Type == "row" && ev.ID >= 0 {
+				s.lastRow = ev.ID
+			}
+			return ev, nil
+		case bytes.HasPrefix(line, []byte(":")):
+			// comment / keep-alive
+		case bytes.HasPrefix(line, []byte("event: ")):
+			ev.Type, seen = string(line[len("event: "):]), true
+		case bytes.HasPrefix(line, []byte("id: ")):
+			id, perr := strconv.ParseInt(string(line[len("id: "):]), 10, 64)
+			if perr != nil {
+				return nil, fmt.Errorf("client: bad SSE id line %q", line)
+			}
+			ev.ID, seen = id, true
+		case bytes.HasPrefix(line, []byte("data: ")):
+			// Successive data lines join with \n per the SSE spec; the
+			// server emits one per event, but parse the general form.
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, line[len("data: "):]...)
+			seen = true
+		}
+	}
+}
+
+// LastRowID is the byte offset of the last row event consumed (or the
+// connect offset if none) — the resume point after a dropped stream.
+func (s *EventStream) LastRowID() int64 { return s.lastRow }
+
+// Close releases the connection.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// WatchJobLive follows a job's status over the SSE stream (rows omitted),
+// invoking fn on every progress update, and returns the terminal status.
+// If the stream cannot be opened or dies before the job finishes — an older
+// server, a proxy that buffers SSE — it degrades to the polling WatchJob
+// with the given interval.  fn may be nil.
+func (c *Client) WatchJobLive(ctx context.Context, id string, interval time.Duration, fn func(api.JobStatus)) (*api.JobStatus, error) {
+	s, err := c.JobEvents(ctx, id, 0, false)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return c.WatchJob(ctx, id, interval, fn)
+	}
+	defer s.Close()
+	for {
+		ev, err := s.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Stream ended without a done event (drop, proxy reset):
+			// polling picks the watch back up.
+			return c.WatchJob(ctx, id, interval, fn)
+		}
+		switch ev.Type {
+		case "progress", "done":
+			var st api.JobStatus
+			if jerr := json.Unmarshal(ev.Data, &st); jerr != nil {
+				return nil, fmt.Errorf("client: decode %s event: %w", ev.Type, jerr)
+			}
+			if fn != nil {
+				fn(st)
+			}
+			if ev.Type == "done" || st.State.Terminal() {
+				return &st, nil
+			}
+		}
+	}
+}
+
+// JobTrace fetches a finished job's stitched span tree (the obs.SpanJSON
+// root, covering coordinator and worker spans for a distributed run).  409
+// not_ready until the run has written one.
+func (c *Client) JobTrace(ctx context.Context, id string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, data)
+	}
+	return json.RawMessage(data), nil
+}

@@ -107,6 +107,20 @@ pids="$coord_pid $w2_pid"
 grep -q '"state": "done"' "$tmp/final.json" || { echo "fabric-smoke: distributed job did not finish after worker kill:"; cat "$tmp/final.json"; exit 1; }
 "$tmp/embedctl" job results -addr "http://$coord" "$id" >"$tmp/distributed.ndjson"
 
+# The stitched cross-node trace: one Chrome trace holding the coordinator's
+# dispatch and fold spans plus every worker-side exec span the fabric
+# carried home — including the chunks requeued off the killed worker, which
+# re-executed on the survivor.  Every folded chunk must show all three.
+"$tmp/embedctl" trace -job "$id" -addr "http://$coord" -o "$tmp/trace.json" >/dev/null
+chunks="$(sed -n 's/.*"chunks_done": \([0-9]*\).*/\1/p' "$tmp/final.json" | head -n 1)"
+for kind in dispatch exec fold; do
+    n="$(grep -o "\"$kind chunk [0-9]*\"" "$tmp/trace.json" | sort -u | wc -l)"
+    [ "$n" -eq "${chunks:-0}" ] || {
+        echo "fabric-smoke: trace has $n distinct \"$kind chunk\" spans, want $chunks"
+        exit 1
+    }
+done
+
 # Reference: the same job, single-node, on the same coordinator.
 "$tmp/embedctl" job submit -addr "http://$coord" -kind census -max-n 8 -watch >/dev/null 2>&1
 ref_id="$("$tmp/embedctl" job list -addr "http://$coord" | awk '$2=="census" && $1!="'"$id"'" {print $1}' | head -n 1)"

@@ -4,12 +4,18 @@
 # embedctl, kill the server with SIGKILL mid-run, restart it on the same
 # data dir, let the job resume from its checkpoint, and verify the streamed
 # result bytes are identical to an uninterrupted run of the same job.
+#
+# A live SSE subscriber (`embedctl job events`) watches the job across the
+# kill: its connection dies with the server, it reconnects with
+# Last-Event-ID after the restart, and the concatenation of everything it
+# streamed must be byte-identical to the NDJSON results download — the
+# offset-resume contract of GET /v1/jobs/{id}/events.
 # Backs `make jobs-smoke` (part of `make check`).
 set -eu
 
 GO="${GO:-go}"
 tmp="$(mktemp -d)"
-trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; [ -n "${sse_pid:-}" ] && kill "$sse_pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
 
 "$GO" build -o "$tmp/embedserver" ./cmd/embedserver
 "$GO" build -o "$tmp/embedctl" ./cmd/embedctl
@@ -17,7 +23,9 @@ trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; ex
 start_server() {
     # Frequent checkpoints so the SIGKILL lands between checkpoint and
     # completion; single-threaded chunks keep the job slow enough to kill.
-    "$tmp/embedserver" -addr 127.0.0.1:0 -no-log -data-dir "$tmp/data" \
+    # An optional argument pins the listen address, so a restart is
+    # reachable at the same port the SSE subscriber keeps retrying.
+    "$tmp/embedserver" -addr "${1:-127.0.0.1:0}" -no-log -data-dir "$tmp/data" \
         -checkpoint-every 2 -job-workers 1 >"$tmp/log" 2>&1 &
     pid=$!
     addr=""
@@ -39,6 +47,11 @@ start_server
 id="$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$tmp/submit.json" | head -n 1)"
 [ -n "$id" ] || { echo "jobs-smoke: no job id in $(cat "$tmp/submit.json")"; exit 1; }
 
+# Live SSE subscriber: streams result rows from offset 0, survives the
+# SIGKILL below by reconnecting with Last-Event-ID once the server is back.
+"$tmp/embedctl" job events -addr "http://$addr" "$id" >"$tmp/sse.ndjson" 2>/dev/null &
+sse_pid=$!
+
 # Wait for the first chunks to land, then SIGKILL — no drain, no checkpoint
 # flush beyond what the periodic writer already committed.
 i=0
@@ -55,9 +68,10 @@ pid=""
 state="$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$tmp/data/$id/job.json" | head -n 1)"
 [ "$state" = "done" ] && { echo "jobs-smoke: job finished before the kill — nothing was resumed"; exit 1; }
 
-# Restart on the same data dir: the job must resume and finish.
+# Restart on the same data dir and the same address: the job must resume
+# and finish, and the SSE subscriber must find the server again.
 mv "$tmp/log" "$tmp/log.1"
-start_server
+start_server "$addr"
 "$tmp/embedctl" job watch -addr "http://$addr" "$id" >"$tmp/final.json" 2>/dev/null
 grep -q '"state": "done"' "$tmp/final.json" || { echo "jobs-smoke: job did not finish after restart:"; cat "$tmp/final.json"; exit 1; }
 grep -q '"resumed": [1-9]' "$tmp/final.json" || { echo "jobs-smoke: job did not report a resume:"; cat "$tmp/final.json"; exit 1; }
@@ -74,6 +88,21 @@ cmp -s "$tmp/resumed.ndjson" "$tmp/reference.ndjson" || {
     exit 1
 }
 [ -s "$tmp/resumed.ndjson" ] || { echo "jobs-smoke: empty result stream"; exit 1; }
+
+# The SSE subscriber saw the done event and exited; everything it streamed
+# across the kill/reconnect must equal the results download byte-for-byte.
+i=0
+while kill -0 "$sse_pid" 2>/dev/null; do
+    [ $i -lt 100 ] || { echo "jobs-smoke: SSE subscriber never finished"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$sse_pid" || { echo "jobs-smoke: SSE subscriber exited non-zero"; exit 1; }
+sse_pid=""
+cmp -s "$tmp/sse.ndjson" "$tmp/resumed.ndjson" || {
+    echo "jobs-smoke: SSE stream (resumed across the kill) differs from the results download"
+    exit 1
+}
 
 kill -TERM "$pid"
 wait "$pid" || { echo "jobs-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# loadtest_smoke.sh — boot embedserver with jobs enabled, drive a short
+# seeded loadtest mix against it (plan/embed/compare plus one batch job),
+# and assert the harness reports a sane run: nonzero requests, zero
+# errors, and benchjson-parseable output rows.  Backs `make loadtest-smoke`
+# (part of `make check`).
+#
+# When BENCH=1, the raw go-test-style benchmark lines are echoed to stdout
+# after the assertions pass, so `make bench-json` can splice loadtest rows
+# into BENCH_PR9.json through cmd/benchjson.
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'status=$?; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+
+"$GO" build -o "$tmp/embedserver" ./cmd/embedserver
+"$GO" build -o "$tmp/loadtest" ./cmd/loadtest
+
+"$tmp/embedserver" -addr 127.0.0.1:0 -no-log -data-dir "$tmp/data" >"$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^embedserver: listening on //p' "$tmp/log" | head -n 1)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "loadtest-smoke: server died:"; cat "$tmp/log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "loadtest-smoke: server never bound:"; cat "$tmp/log"; exit 1; }
+
+# Short deterministic run: same seed, same op sequence every time.  The
+# harness itself exits non-zero if any request errored.
+"$tmp/loadtest" -addr "http://$addr" -seed 7 -c 4 -duration "${LOADTEST_DURATION:-2s}" \
+    -jobs 1 -format bench >"$tmp/bench.txt" 2>"$tmp/summary.txt" \
+    || { echo "loadtest-smoke: loadtest failed:"; cat "$tmp/summary.txt"; exit 1; }
+
+# The mix must have exercised every op kind, including the job submission.
+for kind in plan embed compare job_submit total; do
+    grep -q "BenchmarkLoadtest/$kind" "$tmp/bench.txt" \
+        || { echo "loadtest-smoke: no $kind rows in output:"; cat "$tmp/bench.txt"; exit 1; }
+done
+grep -q "0 errors (0.00%)" "$tmp/summary.txt" \
+    || { echo "loadtest-smoke: errors reported: $(cat "$tmp/summary.txt")"; exit 1; }
+
+# The rows must survive the benchjson pipeline BENCH_PR9.json uses.
+"$GO" run ./cmd/benchjson <"$tmp/bench.txt" >"$tmp/bench.json"
+grep -q '"name": "BenchmarkLoadtest/total"' "$tmp/bench.json" \
+    || { echo "loadtest-smoke: benchjson dropped the total row:"; cat "$tmp/bench.json"; exit 1; }
+grep -q '"req/s"' "$tmp/bench.json" \
+    || { echo "loadtest-smoke: req/s extra missing:"; cat "$tmp/bench.json"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "loadtest-smoke: server exited non-zero:"; cat "$tmp/log"; exit 1; }
+pid=""
+
+[ "${BENCH:-0}" = "1" ] && cat "$tmp/bench.txt"
+echo "loadtest-smoke: ok ($(sed -n 's/^loadtest: \([0-9]*\) requests.*/\1 requests/p' "$tmp/summary.txt"))" >&2
