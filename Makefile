@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-json figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash dash-check loadtest-smoke
+.PHONY: check vet build test race bench bench-short bench-json bounds-check figures fmt gen gen-check serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash dash-check loadtest-smoke
 
-check: vet build gen-check test race bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash-check loadtest-smoke
+check: vet build gen-check test race bounds-check bench-short serve-smoke obs-smoke jobs-smoke artifact-smoke fabric-smoke dash-check loadtest-smoke
+
+# The optimality gate: the golden known-optimal table of internal/bounds,
+# run on its own so a strategy regression (a planner change that stops
+# achieving a certified floor) or a weakened bound fails CI with a named
+# shape, not a buried test diff.
+bounds-check:
+	$(GO) test -count=1 -run 'TestKnownOptimalFloors|TestPlannerAchievesKnownOptimal|TestGrayBaselineStaysOptimalOnGrayMinimalMeshes' ./internal/bounds
 
 # Regenerate the enumgen boilerplate (strategy names, plan kinds, guest
 # families).
@@ -64,7 +71,9 @@ bench-short:
 # ratio is the 2-worker scaling factor), the PR 9 SSE fanout (events/sec
 # into 1/16/128 live subscribers) and the PR 9 loadtest mix (client-side
 # p50/p95/p99 + shed/error rates against a booted server, via the smoke
-# script in BENCH=1 mode); see EXPERIMENTS.md for the recorded numbers.
+# script in BENCH=1 mode); since PR 10 the embed suite also covers the
+# wirelength accumulator inside the fused pass (same 8 allocs/op budget);
+# see EXPERIMENTS.md for the recorded numbers.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMeasure|BenchmarkLinkLoads' -benchmem ./internal/embed; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEmbedHandler|BenchmarkPlanTier|BenchmarkSSEFanout' -benchmem ./internal/server; \
@@ -73,7 +82,7 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkDispatch' ./internal/fabric; \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/artifact; \
 	  BENCH=1 sh scripts/loadtest_smoke.sh; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_PR9.json
+	  | $(GO) run ./cmd/benchjson > BENCH_PR10.json
 
 # Build embedserver, boot it on a random port, hit /healthz and /v1/embed,
 # and check it drains cleanly on SIGTERM.

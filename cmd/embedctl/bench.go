@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mesh"
@@ -28,7 +29,8 @@ func cmdBench(args []string) {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
 	qps := fs.Float64("qps", 0, "request rate limit across all workers (0: unthrottled)")
 	shapes := fs.String("shapes", "64x64x64", "comma-separated shapes to query round-robin")
-	mode := fs.String("mode", "", "embed mode: decomposition (default), gray or torus")
+	family := fs.String("family", "", "guest family: mesh (default), torus, cylinder or tree")
+	mode := fs.String("mode", "", "embed mode: decomposition (default) or gray; \"torus\" is a deprecated alias for -family torus")
 	conc := fs.Int("c", 8, "concurrent client workers")
 	duration := fs.Duration("duration", 5*time.Second, "warm-phase length")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable summary on stdout (schema family of cmd/benchjson); human output moves to stderr")
@@ -63,10 +65,18 @@ func cmdBench(args []string) {
 	c := client.New(*addr,
 		client.WithHTTPClient(&http.Client{Timeout: 2 * time.Minute}),
 		client.WithRetries(0))
+	var certTotal, certOptimal atomic.Uint64
 	request := func(shape string) (time.Duration, error) {
 		start := time.Now()
-		if _, err := c.Embed(context.Background(), api.EmbedRequest{Shape: shape, Mode: *mode}); err != nil {
+		resp, err := c.Embed(context.Background(), api.EmbedRequest{Shape: shape, Family: *family, Mode: *mode})
+		if err != nil {
 			return 0, err
+		}
+		if resp.Certificate != nil {
+			certTotal.Add(1)
+			if resp.Certificate.Optimal {
+				certOptimal.Add(1)
+			}
 		}
 		return time.Since(start), nil
 	}
@@ -171,6 +181,11 @@ func cmdBench(args []string) {
 		round(warm[0]), round(warm[len(warm)-1]))
 	ratio := float64(percentile(cold, 50)) / float64(percentile(warm, 50))
 	fmt.Fprintf(human, "cold p50 / warm p50 = %.1fx\n", ratio)
+	if ct := certTotal.Load(); ct > 0 {
+		co := certOptimal.Load()
+		fmt.Fprintf(human, "certificates: %d served, %d optimal (%.1f%% optimal-hit rate)\n",
+			ct, co, 100*float64(co)/float64(ct))
+	}
 	if tiersBefore != nil {
 		if after := fetchTierCounters(c); after != nil {
 			var parts []string
@@ -190,7 +205,8 @@ func cmdBench(args []string) {
 		}
 	}
 	if *jsonOut {
-		writeBenchJSON(cold, warm, elapsed, errsCount, *mode, shapeList)
+		writeBenchJSON(cold, warm, elapsed, errsCount, *family, *mode, shapeList,
+			certTotal.Load(), certOptimal.Load())
 	}
 }
 
@@ -257,13 +273,20 @@ type benchResult struct {
 
 // benchSummary is the -json document.
 type benchSummary struct {
-	Mode       string        `json:"mode,omitempty"`
-	Shapes     []string      `json:"shapes"`
-	Requests   int           `json:"requests"`
-	Errors     int           `json:"errors"`
-	ElapsedSec float64       `json:"elapsed_seconds"`
-	ReqPerSec  float64       `json:"req_per_sec"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Family     string   `json:"family,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
+	Shapes     []string `json:"shapes"`
+	Requests   int      `json:"requests"`
+	Errors     int      `json:"errors"`
+	ElapsedSec float64  `json:"elapsed_seconds"`
+	ReqPerSec  float64  `json:"req_per_sec"`
+	// Certificate hit rates across every response of the run (cold +
+	// warm): how many carried a certificate and how many of those were
+	// provably optimal on all three measures.
+	CertServed  uint64        `json:"certificates_served"`
+	CertOptimal uint64        `json:"certificates_optimal"`
+	OptimalRate float64       `json:"optimal_rate"`
+	Benchmarks  []benchResult `json:"benchmarks"`
 	// Obs reports this process's tracer counters for the run — per-run
 	// deltas thanks to the ResetStats at bench start, mirroring how the
 	// server-side tier counters are reported as deltas.
@@ -277,19 +300,27 @@ type benchObsStats struct {
 	OverheadNS int64  `json:"span_overhead_ns"`
 }
 
-func writeBenchJSON(cold, warm []time.Duration, elapsed time.Duration, errsCount int, mode string, shapes []string) {
+func writeBenchJSON(cold, warm []time.Duration, elapsed time.Duration, errsCount int, family, mode string, shapes []string, certServed, certOptimal uint64) {
 	stat := func(name string, iters int, d time.Duration) benchResult {
 		return benchResult{Name: name, Iterations: int64(iters), NsPerOp: float64(d.Nanoseconds())}
 	}
 	st := obs.ReadStats()
+	var rate float64
+	if certServed > 0 {
+		rate = float64(certOptimal) / float64(certServed)
+	}
 	sum := benchSummary{
-		Mode:       mode,
-		Shapes:     shapes,
-		Requests:   len(warm),
-		Errors:     errsCount,
-		ElapsedSec: elapsed.Seconds(),
-		ReqPerSec:  float64(len(warm)) / elapsed.Seconds(),
-		Obs:        benchObsStats{Traces: st.Traces, Spans: st.Spans, OverheadNS: st.OverheadNS},
+		Family:      family,
+		Mode:        mode,
+		Shapes:      shapes,
+		Requests:    len(warm),
+		Errors:      errsCount,
+		ElapsedSec:  elapsed.Seconds(),
+		ReqPerSec:   float64(len(warm)) / elapsed.Seconds(),
+		CertServed:  certServed,
+		CertOptimal: certOptimal,
+		OptimalRate: rate,
+		Obs:         benchObsStats{Traces: st.Traces, Spans: st.Spans, OverheadNS: st.OverheadNS},
 		Benchmarks: []benchResult{
 			stat("cold/p50", len(cold), percentile(cold, 50)),
 			stat("warm/p50", len(warm), percentile(warm, 50)),

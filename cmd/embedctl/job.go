@@ -70,7 +70,7 @@ func jobUsage() {
                       [-family F] [-workers W] [-distributed] [-watch]
   embedctl job status  [-addr URL] <id>
   embedctl job watch   [-addr URL] <id>
-  embedctl job results [-addr URL] [-offset B] <id>
+  embedctl job results [-addr URL] [-offset B] [-parse] <id>
   embedctl job events  [-addr URL] [-from B] <id>
   embedctl job cancel  [-addr URL] <id>
   embedctl job list    [-addr URL]
@@ -206,6 +206,7 @@ func jobResults(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("job results", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "embedserver base URL")
 	offset := fs.Int64("offset", 0, "resume the stream from this byte offset")
+	parse := fs.Bool("parse", false, "decode every record instead of raw streaming; print a per-type digest (works on result files from any schema version)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		jobUsage()
@@ -214,8 +215,76 @@ func jobResults(ctx context.Context, args []string) {
 	rc, err := c.JobResults(ctx, fs.Arg(0), *offset)
 	jobCheck(err)
 	defer rc.Close()
-	_, err = io.Copy(os.Stdout, rc)
-	jobCheck(err)
+	if !*parse {
+		_, err = io.Copy(os.Stdout, rc)
+		jobCheck(err)
+		return
+	}
+	jobCheck(digestResults(rc, os.Stdout))
+}
+
+// digestResults decodes a result stream with client.DecodeRecords —
+// schema-tolerantly, so files written before the certificate columns still
+// parse — and prints a per-type digest: record counts, the plan-row
+// optimality tally, and the summary line.
+func digestResults(r io.Reader, w io.Writer) error {
+	counts := make(map[string]int)
+	var plans, minimal, certified, optimal int
+	var summaries []*api.SummaryRecord
+	err := client.DecodeRecords(r, func(rec any) error {
+		switch rec := rec.(type) {
+		case *api.CensusShardRecord:
+			counts["census_shard"]++
+		case *api.CensusRowRecord:
+			counts["census_row"]++
+		case *api.EpsilonRowRecord:
+			counts["epsilon_row"]++
+		case *api.PlanRecord:
+			counts["plan"]++
+			plans++
+			if rec.Minimal {
+				minimal++
+			}
+			if rec.LowerBounds != nil {
+				certified++
+				if rec.Optimal {
+					optimal++
+				}
+			}
+		case *api.PlanCensusChunkRecord:
+			counts["plan_census_chunk"]++
+		case *api.SummaryRecord:
+			counts["summary"]++
+			summaries = append(summaries, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range []string{"census_shard", "census_row", "epsilon_row", "plan", "plan_census_chunk", "summary"} {
+		if counts[t] > 0 {
+			fmt.Fprintf(w, "%-18s %d\n", t, counts[t])
+		}
+	}
+	if plans > 0 {
+		fmt.Fprintf(w, "plans: %d minimal of %d", minimal, plans)
+		if certified > 0 {
+			fmt.Fprintf(w, "; %d certified, %d provably dilation-optimal (%.1f%%)",
+				certified, optimal, 100*float64(optimal)/float64(certified))
+		} else {
+			fmt.Fprintf(w, "; no certificate columns (pre-schema-%d results file)", api.JobSchemaVersion)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range summaries {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", b)
+	}
+	return nil
 }
 
 // jobEvents follows the SSE event stream, writing row payloads to stdout as

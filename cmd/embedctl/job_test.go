@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestResultsOldAndNewSchema(t *testing.T) {
+	// One pre-certificate (schema-1) plan row next to a schema-2 row with
+	// the certificate columns: both must decode, and the digest must report
+	// the certified subset separately.
+	stream := `{"type":"plan","shape":"5x6x7","nodes":210,"cube_dim":8,"plan":"p","method":2,"dilation_bound":2,"minimal":true}
+{"type":"plan","shape":"4x4x4","nodes":64,"cube_dim":6,"plan":"g","method":1,"dilation_bound":1,"minimal":true,"lower_bounds":{"dilation":1,"wirelength":144,"congestion":1},"gap_to_optimal":0,"optimal":true}
+{"type":"summary","schema":2,"kind":"plansweep","chunks":2,"shapes":2,"minimal":2,"optimal":1}
+`
+	var out strings.Builder
+	if err := digestResults(strings.NewReader(stream), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"plan               2",
+		"summary            1",
+		"plans: 2 minimal of 2; 1 certified, 1 provably dilation-optimal (100.0%)",
+		`"optimal":1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("digest missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDigestResultsRejectsUnknownType(t *testing.T) {
+	err := digestResults(strings.NewReader(`{"type":"nope"}`+"\n"), &strings.Builder{})
+	if err == nil {
+		t.Fatal("unknown record type not rejected")
+	}
+}

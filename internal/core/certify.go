@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/guest"
+	"repro/internal/mesh"
+)
+
+// PlanCertificate evaluates a plan against the certified lower bounds at
+// its cube, before anything is built: it returns the bounds, the gap of
+// the plan's a-priori dilation bound over the floor (−1 when the plan
+// carries no bound — the snake fallback), and whether the plan provably
+// achieves the floor.
+//
+// The optimality claim is sound without routing: the construction
+// guarantees measured dilation ≤ p.Dilation, and every one-to-one
+// embedding satisfies measured dilation ≥ the floor, so a plan whose
+// bound equals the floor achieves it exactly.
+func PlanCertificate(f guest.Family, s mesh.Shape, p *Plan) (b bounds.Bounds, gap int, optimal bool) {
+	b = bounds.For(f, s, p.CubeDim)
+	if b.Dilation == 0 {
+		// Edgeless guest: every metric measures zero, so any embedding is
+		// trivially optimal whatever bound the construction quotes.
+		return b, 0, true
+	}
+	if p.Dilation == DilationUnknown {
+		return b, -1, false
+	}
+	gap = p.Dilation - b.Dilation
+	return b, gap, gap == 0
+}

@@ -26,15 +26,15 @@ func TestGoldenMeshPlansUnchanged(t *testing.T) {
 		metrics string
 	}{
 		{"64x64x64", "64x64x64[gray]", 1,
-			"64x64x64 -> 18-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 cong=1 avgcong=0.3281 load=1"},
+			"64x64x64 -> 18-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 wl=774144 cong=1 avgcong=0.3281 load=1"},
 		{"5x6x7", "(5x3x1[direct] ⊗ 1x2x7[gray])", 2,
-			"5x6x7 -> 8-cube: exp=1.2190 minimal=true dil=2 avgdil=1.0803 cong=2 avgcong=0.5518 load=1"},
+			"5x6x7 -> 8-cube: exp=1.2190 minimal=true dil=2 avgdil=1.0803 wl=565 cong=2 avgcong=0.5518 load=1"},
 		{"3x5x17", "3x5x17[snake]", 5,
-			"3x5x17 -> 8-cube: exp=1.0039 minimal=true dil=5 avgdil=2.0619 cong=5 avgcong=1.2363 load=1"},
+			"3x5x17 -> 8-cube: exp=1.0039 minimal=true dil=5 avgdil=2.0619 wl=1266 cong=5 avgcong=1.2363 load=1"},
 		{"6x10", "(3x5[direct] ⊗ 2x2[gray])", 5,
-			"6x10 -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1154 cong=2 avgcong=0.6042 load=1"},
+			"6x10 -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1154 wl=116 cong=2 avgcong=0.6042 load=1"},
 		{"12x20", "(3x5[direct] ⊗ 4x4[gray])", 5,
-			"12x20 -> 8-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1071 cong=2 avgcong=0.4844 load=1"},
+			"12x20 -> 8-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1071 wl=496 cong=2 avgcong=0.4844 load=1"},
 	}
 	for _, tc := range cases {
 		s, err := mesh.ParseShape(tc.shape)
@@ -69,9 +69,9 @@ func TestGoldenTorusMetricsUnchanged(t *testing.T) {
 		shape   string
 		metrics string
 	}{
-		{"6x10", "6x10 (wraparound) -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1000 cong=2 avgcong=0.6875 load=1"},
-		{"5x6x7", "5x6x7 (wraparound) -> 8-cube: exp=1.2190 minimal=true dil=7 avgdil=2.5143 cong=7 avgcong=1.5469 load=1"},
-		{"16x16", "16x16 (wraparound) -> 8-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 cong=1 avgcong=0.5000 load=1"},
+		{"6x10", "6x10 (wraparound) -> 6-cube: exp=1.0667 minimal=true dil=2 avgdil=1.1000 wl=132 cong=2 avgcong=0.6875 load=1"},
+		{"5x6x7", "5x6x7 (wraparound) -> 8-cube: exp=1.2190 minimal=true dil=7 avgdil=2.5143 wl=1584 cong=7 avgcong=1.5469 load=1"},
+		{"16x16", "16x16 (wraparound) -> 8-cube: exp=1.0000 minimal=true dil=1 avgdil=1.0000 wl=512 cong=1 avgcong=0.5000 load=1"},
 	}
 	for _, tc := range cases {
 		s, err := mesh.ParseShape(tc.shape)

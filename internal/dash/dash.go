@@ -133,6 +133,10 @@ func Definitions() []Dashboard {
 				q(`rate(embedserver_result_cache_evictions_total[5m])`, "evictions/s")),
 			stat("Plan artifact", "Records in the attached plan-census artifact (absent when no artifact is attached).", "short",
 				q(`embedserver_plan_artifact_records`, "records")),
+			ts("Optimality certificates", "Certificates served on plan/embed/compare responses, and the provably-optimal fraction (achieved metrics meeting the internal/bounds floors).", "reqps",
+				q(`rate(embedserver_certificates_total[5m])`, "served"),
+				q(`rate(embedserver_certificates_optimal_total[5m])`, "optimal"),
+				q(`rate(embedserver_certificates_optimal_total[5m]) / rate(embedserver_certificates_total[5m])`, "optimal fraction")),
 		}),
 	}
 

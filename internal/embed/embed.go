@@ -358,6 +358,7 @@ type Metrics struct {
 	Minimal       bool
 	Dilation      int
 	AvgDilation   float64
+	Wirelength    int64
 	Congestion    int
 	AvgCongestion float64
 	LoadFactor    int
@@ -381,6 +382,6 @@ func (m Metrics) String() string {
 	case m.Family != "" && m.Family != "mesh":
 		w = " (" + m.Family + ")"
 	}
-	return fmt.Sprintf("%s%s -> %d-cube: exp=%.4f minimal=%v dil=%d avgdil=%.4f cong=%d avgcong=%.4f load=%d",
-		m.Guest, w, m.CubeDim, m.Expansion, m.Minimal, m.Dilation, m.AvgDilation, m.Congestion, m.AvgCongestion, m.LoadFactor)
+	return fmt.Sprintf("%s%s -> %d-cube: exp=%.4f minimal=%v dil=%d avgdil=%.4f wl=%d cong=%d avgcong=%.4f load=%d",
+		m.Guest, w, m.CubeDim, m.Expansion, m.Minimal, m.Dilation, m.AvgDilation, m.Wirelength, m.Congestion, m.AvgCongestion, m.LoadFactor)
 }

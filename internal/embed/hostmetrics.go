@@ -42,13 +42,14 @@ func (e *Embedding) MeasureOnHost(h host.Host) Metrics {
 	guest.Get(e.Family).EachEdgeRange(e.Guest, 0, e.Guest.Nodes(), visit)
 
 	m := Metrics{
-		Guest:     e.Guest.String(),
-		Family:    e.Family.String(),
-		Wrap:      e.Family == guest.Torus,
-		CubeDim:   e.N,
-		Expansion: float64(h.Nodes(e.N)) / float64(e.Guest.Nodes()),
-		Minimal:   h.MinSize(e.Guest.Nodes()) == e.N,
-		Dilation:  maxDil,
+		Guest:      e.Guest.String(),
+		Family:     e.Family.String(),
+		Wrap:       e.Family == guest.Torus,
+		CubeDim:    e.N,
+		Expansion:  float64(h.Nodes(e.N)) / float64(e.Guest.Nodes()),
+		Minimal:    h.MinSize(e.Guest.Nodes()) == e.N,
+		Dilation:   maxDil,
+		Wirelength: int64(dilSum),
 	}
 	if edges > 0 {
 		m.AvgDilation = float64(dilSum) / float64(edges)

@@ -48,13 +48,14 @@ func referenceMeasure(e *Embedding) Metrics {
 		e.Guest.EachEdge(visit)
 	}
 	m := Metrics{
-		Guest:     e.Guest.String(),
-		Family:    e.Family.String(),
-		Wrap:      e.Family == guest.Torus,
-		CubeDim:   e.N,
-		Expansion: e.Expansion(),
-		Minimal:   e.Minimal(),
-		Dilation:  maxDil,
+		Guest:      e.Guest.String(),
+		Family:     e.Family.String(),
+		Wrap:       e.Family == guest.Torus,
+		CubeDim:    e.N,
+		Expansion:  e.Expansion(),
+		Minimal:    e.Minimal(),
+		Dilation:   maxDil,
+		Wirelength: int64(dilSum),
 	}
 	if edges > 0 {
 		m.AvgDilation = float64(dilSum) / float64(edges)

@@ -91,7 +91,7 @@ func (r *epsilonRunner) fold(res *api.ChunkResult, buf *bytes.Buffer) (uint64, e
 }
 
 func (r *plansweepRunner) remote(ctx context.Context, chunk int) (*api.ChunkResult, error) {
-	if len(r.hist) != 0 || r.minimal != 0 {
+	if len(r.hist) != 0 || r.minimal != 0 || r.optimal != 0 {
 		return nil, errors.New("jobs: plansweep remote chunk requires a fresh runner")
 	}
 	return remoteRows(ctx, r, chunk)
@@ -107,6 +107,7 @@ func (r *plansweepRunner) fold(res *api.ChunkResult, buf *bytes.Buffer) (uint64,
 		r.hist[k] += v
 	}
 	r.minimal += a.Minimal
+	r.optimal += a.Optimal
 	return res.Shapes, nil
 }
 

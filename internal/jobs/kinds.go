@@ -193,14 +193,18 @@ func (r *censusRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 		rec := api.CensusRowRecord{
 			Type: api.RecordCensusRow, N: row.N, S: row.S, S4Eps2: row.S4Eps2,
 			Total: row.Total, Exceptions: row.Exceptions,
+			// The method-1 stratum is exactly the Gray-minimal shapes,
+			// whose plans achieve dilation 1 — the unconditional floor —
+			// so S[0] is the certified-dilation-optimal percentage.
+			CertOptimalPct: row.S[0],
 		}
 		if err := writeRecord(buf, rec); err != nil {
 			return err
 		}
 	}
 	return writeRecord(buf, api.SummaryRecord{
-		Type: api.RecordSummary, Kind: api.JobCensus, Chunks: r.chunks(),
-		Shapes: shapes, Exceptions: rows[len(rows)-1].Exceptions,
+		Type: api.RecordSummary, Schema: api.JobSchemaVersion, Kind: api.JobCensus,
+		Chunks: r.chunks(), Shapes: shapes, Exceptions: rows[len(rows)-1].Exceptions,
 	})
 }
 
@@ -245,7 +249,8 @@ func (r *epsilonRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Buff
 
 func (r *epsilonRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 	return writeRecord(buf, api.SummaryRecord{
-		Type: api.RecordSummary, Kind: api.JobEpsilon, Chunks: r.maxN, Shapes: shapes,
+		Type: api.RecordSummary, Schema: api.JobSchemaVersion, Kind: api.JobEpsilon,
+		Chunks: r.maxN, Shapes: shapes,
 	})
 }
 
@@ -263,6 +268,7 @@ type plansweepRunner struct {
 	planner *core.Planner
 	hist    map[string]uint64
 	minimal uint64
+	optimal uint64
 }
 
 func (r *plansweepRunner) chunks() int { return r.params.MaxAxis }
@@ -294,6 +300,9 @@ func (r *plansweepRunner) runChunk(ctx context.Context, chunk int, buf *bytes.Bu
 		if rec.Minimal {
 			r.minimal++
 		}
+		if rec.Optimal {
+			r.optimal++
+		}
 	}
 	return uint64(len(shapes)), nil
 }
@@ -318,13 +327,17 @@ func (r *plansweepRunner) planRecord(s mesh.Shape) api.PlanRecord {
 		e := stats.RelExpansion(s[0], s[1], s[2])
 		rec.RelExpansion = e[:]
 	}
+	b, gap, opt := core.PlanCertificate(r.family, s, p)
+	rec.LowerBounds = &api.LowerBounds{Dilation: b.Dilation, Wirelength: b.Wirelength, Congestion: b.Congestion}
+	rec.GapToOptimal = gap
+	rec.Optimal = opt
 	return rec
 }
 
 func (r *plansweepRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 	rec := api.SummaryRecord{
-		Type: api.RecordSummary, Kind: api.JobPlanSweep,
-		Chunks: r.chunks(), Shapes: shapes, Minimal: r.minimal,
+		Type: api.RecordSummary, Schema: api.JobSchemaVersion, Kind: api.JobPlanSweep,
+		Chunks: r.chunks(), Shapes: shapes, Minimal: r.minimal, Optimal: r.optimal,
 	}
 	if len(r.hist) > 0 {
 		rec.DilationHist = r.hist
@@ -335,10 +348,11 @@ func (r *plansweepRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 type plansweepAgg struct {
 	Hist    map[string]uint64 `json:"hist"`
 	Minimal uint64            `json:"minimal"`
+	Optimal uint64            `json:"optimal"`
 }
 
 func (r *plansweepRunner) snapshot() (json.RawMessage, error) {
-	return json.Marshal(plansweepAgg{Hist: r.hist, Minimal: r.minimal})
+	return json.Marshal(plansweepAgg{Hist: r.hist, Minimal: r.minimal, Optimal: r.optimal})
 }
 
 func (r *plansweepRunner) restore(agg json.RawMessage) error {
@@ -349,7 +363,7 @@ func (r *plansweepRunner) restore(agg json.RawMessage) error {
 	if a.Hist == nil {
 		a.Hist = map[string]uint64{}
 	}
-	r.hist, r.minimal = a.Hist, a.Minimal
+	r.hist, r.minimal, r.optimal = a.Hist, a.Minimal, a.Optimal
 	return nil
 }
 
@@ -473,7 +487,7 @@ func (r *plancensusRunner) finish(buf *bytes.Buffer, shapes uint64) error {
 		return err
 	}
 	return writeRecord(buf, api.SummaryRecord{
-		Type: api.RecordSummary, Kind: api.JobPlanCensus,
+		Type: api.RecordSummary, Schema: api.JobSchemaVersion, Kind: api.JobPlanCensus,
 		Chunks: r.chunks(), Shapes: shapes,
 		Minimal: r.minimal, DilationHist: r.hist,
 		Artifact: &api.ArtifactInfo{

@@ -144,6 +144,7 @@ type Comparison struct {
 	Minimal     bool
 	Dilation    int
 	AvgDilation float64
+	Wirelength  int64
 	Congestion  int
 }
 
@@ -152,14 +153,16 @@ type Comparison struct {
 // planner.
 func Compare(guest mesh.Shape) []Comparison {
 	row := func(name string, e *embed.Embedding) Comparison {
+		m := e.Measure()
 		return Comparison{
 			Guest:       guest.String(),
 			Technique:   name,
-			CubeDim:     e.N,
+			CubeDim:     m.CubeDim,
 			Minimal:     e.Minimal(),
-			Dilation:    e.Dilation(),
-			AvgDilation: e.AvgDilation(),
-			Congestion:  e.Congestion(),
+			Dilation:    m.Dilation,
+			AvgDilation: m.AvgDilation,
+			Wirelength:  m.Wirelength,
+			Congestion:  m.Congestion,
 		}
 	}
 	out := []Comparison{

@@ -49,15 +49,16 @@ func TestEmbedFamilyCacheIsolation(t *testing.T) {
 	}
 }
 
-// TestEmbedModeTorusSharesFamilyEntry: mode "torus" is the historical
+// TestEmbedModeTorusSharesFamilyEntry: mode "torus" is the deprecated
 // spelling of family torus; both spellings must resolve to the same cache
-// entry and metrics, with the mode echoed as sent.
+// entry and metrics, with the response normalized to family torus, mode
+// decomposition, plus a deprecation note.
 func TestEmbedModeTorusSharesFamilyEntry(t *testing.T) {
 	h := New(Config{}).Handler()
 	rec, _ := post(t, h, "/v1/embed", `{"shape":"6x10","family":"torus"}`)
 	var byFamily EmbedResponse
 	_ = json.Unmarshal(rec.Body.Bytes(), &byFamily)
-	if byFamily.Source != "computed" || !byFamily.Metrics.Wrap {
+	if byFamily.Source != "computed" || !byFamily.Metrics.Wrap || byFamily.Deprecation != "" {
 		t.Fatalf("family torus: %+v", byFamily)
 	}
 	rec, _ = post(t, h, "/v1/embed", `{"shape":"6x10","mode":"torus"}`)
@@ -66,7 +67,10 @@ func TestEmbedModeTorusSharesFamilyEntry(t *testing.T) {
 	if byMode.Source != "cache" {
 		t.Fatalf("mode torus recomputed instead of sharing the family entry: %+v", byMode)
 	}
-	if byMode.Mode != "torus" || byMode.Metrics != byFamily.Metrics {
+	if byMode.Mode != "decomposition" || byMode.Family != "torus" || byMode.Deprecation == "" {
+		t.Fatalf("mode torus not normalized: %+v", byMode)
+	}
+	if byMode.Metrics != byFamily.Metrics {
 		t.Fatalf("mode torus response: %+v vs %+v", byMode, byFamily)
 	}
 	// Conflicting spellings are a 400.
@@ -83,7 +87,7 @@ func TestCompareFamilyEcho(t *testing.T) {
 	rec, _ := post(t, h, "/v1/compare", `{"shape":"6x10"}`)
 	var meshResp CompareResponse
 	_ = json.Unmarshal(rec.Body.Bytes(), &meshResp)
-	if meshResp.Family != "" || meshResp.Source != "computed" {
+	if meshResp.Family != "mesh" || meshResp.Source != "computed" {
 		t.Fatalf("mesh compare: family %q source %q", meshResp.Family, meshResp.Source)
 	}
 

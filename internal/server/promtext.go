@@ -109,6 +109,11 @@ type metrics struct {
 	tierClosedForm atomic.Uint64
 	tierArtifact   atomic.Uint64
 	tierCompute    atomic.Uint64
+	// Optimality-certificate counters (see certify.go): certificates
+	// served on plan/embed/compare responses, and the subset whose
+	// achieved metrics provably meet the lower bounds.
+	certTotal   atomic.Uint64
+	certOptimal atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -191,6 +196,8 @@ func (m *metrics) render(b *strings.Builder, gauges []gauge) {
 // failure, not a silent drift.
 var metricFamilyNames = []string{
 	"embedserver_build_info",
+	"embedserver_certificates_optimal_total",
+	"embedserver_certificates_total",
 	"embedserver_coalesced_total",
 	"embedserver_fabric_chunks_dispatched_total",
 	"embedserver_fabric_chunks_folded_total",

@@ -358,12 +358,10 @@ func parseFamilyField(name string) (guest.Family, error) {
 	return d.Family, nil
 }
 
-// famEcho is the response echo of a guest family: empty for mesh, so
-// pre-family responses stay byte-identical.
+// famEcho is the response echo of a guest family.  Since schema v2 it is
+// always the canonical name — "mesh" included — so clients never need the
+// empty-means-mesh convention to read a response.
 func famEcho(f guest.Family) string {
-	if f == guest.Mesh {
-		return ""
-	}
 	return f.String()
 }
 
@@ -494,6 +492,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Plan:          res.plan,
 		Method:        res.method,
 		DilationBound: res.dilBound,
+		Certificate:   s.countCert(planCertificate(fam, sh, res.cubeDim, res.dilBound)),
 		Source:        source,
 	}
 	if meta != nil && meta.debug {
@@ -520,29 +519,14 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, r, err)
 		return
 	}
-	fam, err := parseFamilyField(req.Family)
+	famName, mode, deprecation, err := api.NormalizeFamily(req.Family, req.Mode)
 	if err != nil {
-		respondErr(w, r, err)
+		respondErr(w, r, errBadRequest("%v", err))
 		return
 	}
-	mode := req.Mode
-	switch mode {
-	case "", "decomposition":
-		mode = "decomposition"
-	case "gray":
-		if fam != guest.Mesh {
-			respondErr(w, r, errBadRequest("mode gray applies to the mesh family only (got %q)", req.Family))
-			return
-		}
-	case "torus":
-		// The historical spelling of family "torus"; the two must agree.
-		if req.Family != "" && fam != guest.Torus {
-			respondErr(w, r, errBadRequest("mode torus conflicts with family %q", req.Family))
-			return
-		}
-		fam = guest.Torus
-	default:
-		respondErr(w, r, errBadRequest("unknown mode %q (want decomposition, gray or torus)", req.Mode))
+	fam, err := parseFamilyField(famName)
+	if err != nil {
+		respondErr(w, r, err)
 		return
 	}
 	sh, err := s.parseShapeField(req.Shape, s.cfg.MaxNodes)
@@ -557,14 +541,10 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	meta := metaFrom(r.Context())
 	meta.setShape(sh, mode)
 	canon, _ := guest.Get(fam).Canonical(sh)
-	// Mode "torus" is the historical spelling of family torus and computes
-	// exactly what family=torus computes, so both spellings share one cache
-	// entry; the echoed Mode still reflects the request.
-	keyMode := mode
-	if mode == "torus" {
-		keyMode = "decomposition"
-	}
-	key := "embed|" + famKey(fam) + keyMode + "|" + canon.String()
+	// mode is already normalized ("decomposition" or "gray"), so the
+	// deprecated mode "torus" spelling shares the family-torus cache entry
+	// by construction.
+	key := "embed|" + famKey(fam) + mode + "|" + canon.String()
 	res, source, err := s.lookup(r.Context(), key, func(ctx context.Context) (*cachedResult, error) {
 		return s.computeEmbed(ctx, fam, canon, mode)
 	})
@@ -578,6 +558,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Shape:         sh.String(),
 		Family:        famEcho(fam),
 		Mode:          mode,
+		Deprecation:   deprecation,
 		Plan:          res.plan,
 		Method:        res.method,
 		DilationBound: res.dilBound,
@@ -585,6 +566,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Source:        source,
 	}
 	resp.Metrics.Guest = sh.String() // metrics are relabeling-invariant
+	resp.Certificate = s.countCert(measuredCertificate(fam, sh, resp.Metrics))
 	if req.IncludeMap {
 		ser := res.emb.Serial()
 		if !sh.Equal(res.emb.Guest) {
@@ -690,6 +672,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	resp := *res.compare
 	resp.Shape = sh.String()
 	resp.Family = famEcho(fam)
+	resp.Certificate = s.countCert(compareCertificate(fam, sh, resp.Rows))
 	resp.Source = source
 	if meta != nil && meta.debug {
 		resp.Debug = &DebugInfo{
@@ -789,6 +772,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "embedserver_plan_tier_closed_form_total", help: "Plan resolutions answered by the O(1) closed-form classifier.", kind: "counter", value: float64(s.m.tierClosedForm.Load())},
 		{name: "embedserver_plan_tier_artifact_total", help: "Plan resolutions answered by the mmap'd plan-census artifact (L1).", kind: "counter", value: float64(s.m.tierArtifact.Load())},
 		{name: "embedserver_plan_tier_compute_total", help: "Plan resolutions that ran the full decomposition planner (L2).", kind: "counter", value: float64(s.m.tierCompute.Load())},
+		{name: "embedserver_certificates_total", help: "Optimality certificates served on plan/embed/compare responses.", kind: "counter", value: float64(s.m.certTotal.Load())},
+		{name: "embedserver_certificates_optimal_total", help: "Served certificates whose achieved metrics provably meet the lower bounds.", kind: "counter", value: float64(s.m.certOptimal.Load())},
 	}
 	if s.artifact != nil {
 		ah := s.artifact.Header()

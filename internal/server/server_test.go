@@ -132,6 +132,9 @@ func TestEmbedPermutedHit(t *testing.T) {
 
 func TestEmbedModes(t *testing.T) {
 	h := New(Config{}).Handler()
+	// The response mode is normalized: the deprecated alias "torus" is
+	// served as family torus, mode decomposition, with a deprecation note.
+	wantMode := map[string]string{"gray": "gray", "torus": "decomposition"}
 	for mode, wantDil := range map[string]int{"gray": 1, "torus": 0} {
 		rec, _ := post(t, h, "/v1/embed", fmt.Sprintf(`{"shape":"6x10","mode":%q}`, mode))
 		if rec.Code != http.StatusOK {
@@ -139,8 +142,11 @@ func TestEmbedModes(t *testing.T) {
 		}
 		var resp EmbedResponse
 		_ = json.Unmarshal(rec.Body.Bytes(), &resp)
-		if resp.Mode != mode {
+		if resp.Mode != wantMode[mode] {
 			t.Fatalf("mode = %q", resp.Mode)
+		}
+		if (mode == "torus") != (resp.Deprecation != "") {
+			t.Fatalf("mode %s: deprecation = %q", mode, resp.Deprecation)
 		}
 		if mode == "gray" && resp.Metrics.Dilation != wantDil {
 			t.Fatalf("gray dilation = %d", resp.Metrics.Dilation)

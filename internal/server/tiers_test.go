@@ -123,6 +123,10 @@ func TestPlanTierArtifact(t *testing.T) {
 		t.Fatalf("computed plan: code %d source %q", code, want.Source)
 	}
 	got.Source, want.Source = "", ""
+	if got.Certificate == nil || want.Certificate == nil || *got.Certificate != *want.Certificate {
+		t.Fatalf("artifact-served certificate differs from computed:\n got %+v\nwant %+v", got.Certificate, want.Certificate)
+	}
+	got.Certificate, want.Certificate = nil, nil
 	if got != want {
 		t.Fatalf("artifact-served response differs from computed:\n got %+v\nwant %+v", got, want)
 	}

@@ -27,6 +27,14 @@ func goldenCases() []struct {
 		{"plan_response", PlanResponse{
 			Version: Version, Shape: "5x6x7", Family: "cylinder", Nodes: 210, CubeDim: 8,
 			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
+			// A plan-only certificate: dilation gap from the a-priori
+			// bound, wirelength/congestion gaps unknown (−1) until built.
+			Certificate: &Certificate{
+				CubeDim:     8,
+				LowerBounds: LowerBounds{Dilation: 1, Wirelength: 523, Congestion: 1},
+				DilationGap: 1, WirelengthGap: -1, CongestionGap: -1,
+				GapToOptimal: 1,
+			},
 			Source: "computed",
 			Debug: &DebugInfo{
 				RequestID: "ab12-000001",
@@ -34,27 +42,61 @@ func goldenCases() []struct {
 				PlanTrace: json.RawMessage(`{"attempts":[]}`),
 			},
 		}},
+		// Mode "torus" stays on the wire as a deprecated alias: the request
+		// must keep decoding, and the response echoes the canonical family
+		// with a deprecation note.
 		{"embed_request", EmbedRequest{Shape: "6x10", Family: "torus", Mode: "torus", IncludeMap: true}},
 		{"embed_response", EmbedResponse{
-			Version: Version, Shape: "5x6x7", Mode: "decomposition",
+			Version: Version, Shape: "5x6x7", Family: "mesh", Mode: "decomposition",
 			Plan: "(5x3x1[direct] ⊗ 1x2x7[gray])", Method: 2, DilationBound: 2,
 			Metrics: Metrics{
 				Guest: "5x6x7", Family: "mesh", CubeDim: 8, Expansion: 1.2190, Minimal: true,
-				Dilation: 2, AvgDilation: 1.1034, Congestion: 3, AvgCongestion: 1.4128,
+				Dilation: 2, AvgDilation: 1.1034, Wirelength: 565, Congestion: 3, AvgCongestion: 1.4128,
 				LoadFactor: 1,
 			},
 			Source: "cache",
+			Certificate: &Certificate{
+				CubeDim:     8,
+				LowerBounds: LowerBounds{Dilation: 1, Wirelength: 523, Congestion: 1},
+				DilationGap: 1, WirelengthGap: 42, CongestionGap: 2,
+				GapToOptimal: 45,
+			},
 			Embedding: &EmbeddingSerial{
 				Version: 1, Guest: "1x2", Cube: 1, Map: []uint64{0, 1},
 			},
 		}},
+		{"embed_response_deprecated_mode", EmbedResponse{
+			Version: Version, Shape: "6x10", Family: "torus", Mode: "decomposition",
+			Plan: "(3x1[direct] ⊗ 2x10[gray])", Method: 2, DilationBound: 2,
+			Metrics: Metrics{
+				Guest: "6x10", Family: "torus", CubeDim: 6, Expansion: 1.0667, Minimal: true,
+				Dilation: 2, AvgDilation: 1.1, Wirelength: 132, Congestion: 2, AvgCongestion: 0.6875,
+				LoadFactor: 1,
+			},
+			Source:      "computed",
+			Deprecation: ModeTorusDeprecation,
+			Certificate: &Certificate{
+				CubeDim:     6,
+				LowerBounds: LowerBounds{Dilation: 1, Wirelength: 120, Congestion: 1},
+				DilationGap: 1, WirelengthGap: 12, CongestionGap: 1,
+				GapToOptimal: 14,
+			},
+		}},
 		{"compare_request", CompareRequest{Shape: "12x20", Family: "torus", Simnet: true}},
 		{"compare_response", CompareResponse{
-			Version: Version, Shape: "12x20",
+			Version: Version, Shape: "12x20", Family: "mesh",
 			Rows: []CompareRow{{
 				Technique: "gray",
-				Metrics:   Metrics{Guest: "12x20", Family: "mesh", CubeDim: 9, Expansion: 2.1333, Dilation: 1, AvgDilation: 1, Congestion: 1, AvgCongestion: 1, LoadFactor: 1},
+				Metrics:   Metrics{Guest: "12x20", Family: "mesh", CubeDim: 9, Expansion: 2.1333, Dilation: 1, AvgDilation: 1, Wirelength: 448, Congestion: 1, AvgCongestion: 1, LoadFactor: 1},
 			}},
+			// The comparison-wide certificate: best minimal-cube technique
+			// on each measure against the floors.
+			Certificate: &Certificate{
+				CubeDim:     8,
+				LowerBounds: LowerBounds{Dilation: 1, Wirelength: 448, Congestion: 1},
+				DilationGap: 1, WirelengthGap: 12, CongestionGap: 1,
+				GapToOptimal: 14,
+			},
 			Simnet: map[string]SimRoundStats{
 				"gray": {Messages: 916, TotalHops: 916, MaxHops: 1, Makespan: 4, MaxLink: 4, AvgHops: 1},
 			},
@@ -99,6 +141,7 @@ func goldenCases() []struct {
 		{"census_row_record", CensusRowRecord{
 			Type: RecordCensusRow, N: 9, S: [4]float64{28.5, 81.5, 82.9, 96.1},
 			S4Eps2: 99.5, Total: 134_217_728, Exceptions: 5_226_111,
+			CertOptimalPct: 28.5,
 		}},
 		{"epsilon_row_record", EpsilonRowRecord{
 			Type: RecordEpsilonRow, N: 6, Eps1: 95.7, Eps2: 4.0, Eps4: 0.3, EpsWorse: 0,
@@ -107,11 +150,20 @@ func goldenCases() []struct {
 			Type: RecordPlan, Shape: "3x5x17", Family: "torus", Nodes: 255, CubeDim: 8,
 			Plan: "snake(3x5x17)", Method: 0, DilationBound: -1, Minimal: true,
 			BestMethod: 0, RelExpansion: []float64{1.6, 1.6, 1.6, 1},
+			LowerBounds:  &LowerBounds{Dilation: 2, Wirelength: 680, Congestion: 1},
+			GapToOptimal: -1,
+		}},
+		{"plan_record_optimal", PlanRecord{
+			Type: RecordPlan, Shape: "4x4x4", Nodes: 64, CubeDim: 6,
+			Plan: "4x4x4[gray]", Method: 1, DilationBound: 1, Minimal: true,
+			BestMethod: 1, RelExpansion: []float64{1, 1, 1, 1},
+			LowerBounds:  &LowerBounds{Dilation: 1, Wirelength: 144, Congestion: 1},
+			GapToOptimal: 0, Optimal: true,
 		}},
 		{"summary_record", SummaryRecord{
-			Type: RecordSummary, Kind: JobPlanSweep, Chunks: 16, Shapes: 688,
+			Type: RecordSummary, Schema: JobSchemaVersion, Kind: JobPlanSweep, Chunks: 16, Shapes: 688,
 			DilationHist: map[string]uint64{"1": 120, "2": 560, "unknown": 8},
-			Minimal:      610,
+			Minimal:      610, Optimal: 120,
 		}},
 		{"summary_record_census", SummaryRecord{
 			Type: RecordSummary, Kind: JobCensus, Chunks: 512, Shapes: 134_217_728,
@@ -163,6 +215,51 @@ func TestGoldenRoundTrip(t *testing.T) {
 				t.Errorf("decode/re-encode is not a fixed point:\n--- re-encoded ---\n%s\n--- golden ---\n%s", again, want)
 			}
 		})
+	}
+}
+
+// TestNormalizeFamily pins the family/mode normalization table: the mode
+// axis carries only the construction ("decomposition" or "gray"), the
+// family axis only the guest topology, and the one retired spelling (mode
+// "torus") maps onto the family axis with a deprecation note.
+func TestNormalizeFamily(t *testing.T) {
+	cases := []struct {
+		family, mode         string
+		wantFam, wantMode    string
+		wantDeprecation, err bool
+	}{
+		{"", "", "mesh", "decomposition", false, false},
+		{"", "decomposition", "mesh", "decomposition", false, false},
+		{"", "gray", "mesh", "gray", false, false},
+		{"mesh", "gray", "mesh", "gray", false, false},
+		{"torus", "", "torus", "decomposition", false, false},
+		{"cylinder", "decomposition", "cylinder", "decomposition", false, false},
+		{"tree", "", "tree", "decomposition", false, false},
+		// The deprecated alias: mode "torus" selects family torus.
+		{"", "torus", "torus", "decomposition", true, false},
+		{"torus", "torus", "torus", "decomposition", true, false},
+		// Contradictions and unknowns are rejected.
+		{"mesh", "torus", "", "", false, true},
+		{"tree", "gray", "", "", false, true},
+		{"", "zigzag", "", "", false, true},
+	}
+	for _, tc := range cases {
+		fam, mode, deprecation, err := NormalizeFamily(tc.family, tc.mode)
+		if tc.err {
+			if err == nil {
+				t.Errorf("NormalizeFamily(%q, %q): no error", tc.family, tc.mode)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NormalizeFamily(%q, %q): %v", tc.family, tc.mode, err)
+			continue
+		}
+		if fam != tc.wantFam || mode != tc.wantMode || (deprecation != "") != tc.wantDeprecation {
+			t.Errorf("NormalizeFamily(%q, %q) = (%q, %q, dep=%v), want (%q, %q, dep=%v)",
+				tc.family, tc.mode, fam, mode, deprecation != "",
+				tc.wantFam, tc.wantMode, tc.wantDeprecation)
+		}
 	}
 }
 

@@ -204,6 +204,10 @@ type CensusRowRecord struct {
 	S4Eps2     float64    `json:"s4_eps2"`
 	Total      uint64     `json:"total"`
 	Exceptions uint64     `json:"exceptions"`
+	// CertOptimalPct (schema 2) is the fraction of the domain that is
+	// certified dilation-optimal: the method-1 stratum, whose Gray-minimal
+	// plans achieve dilation 1 — the unconditional floor.
+	CertOptimalPct float64 `json:"cert_optimal_pct,omitempty"`
 }
 
 // EpsilonRowRecord is one ε-distribution row for the 2^N domain.
@@ -231,6 +235,13 @@ type PlanRecord struct {
 	// present for 3-D shapes only.
 	BestMethod   int       `json:"best_method,omitempty"`
 	RelExpansion []float64 `json:"rel_expansion,omitempty"`
+	// Schema-2 certificate columns (absent in schema-1 rows): the
+	// certified floors at the plan's cube, the planned-dilation gap
+	// (−1 when the plan carries no a-priori dilation bound), and whether
+	// the plan provably achieves the dilation floor.
+	LowerBounds  *LowerBounds `json:"lower_bounds,omitempty"`
+	GapToOptimal int          `json:"gap_to_optimal"`
+	Optimal      bool         `json:"optimal,omitempty"`
 }
 
 // PlanCensusChunkRecord is one plancensus chunk's line: the shapes whose
@@ -261,7 +272,10 @@ type ArtifactInfo struct {
 
 // SummaryRecord is the final line of every result stream.
 type SummaryRecord struct {
-	Type   string  `json:"type"` // RecordSummary
+	Type string `json:"type"` // RecordSummary
+	// Schema is the JobSchemaVersion the stream was written under; absent
+	// (0) identifies a pre-certificate schema-1 stream.
+	Schema int     `json:"schema,omitempty"`
 	Kind   JobKind `json:"kind"`
 	Chunks int     `json:"chunks"`
 	Shapes uint64  `json:"shapes"`
@@ -273,6 +287,9 @@ type SummaryRecord struct {
 	// shapes whose plan reaches the minimal cube.
 	DilationHist map[string]uint64 `json:"dilation_hist,omitempty"`
 	Minimal      uint64            `json:"minimal,omitempty"`
+	// Optimal (schema 2) counts plansweep shapes whose plan is certified
+	// dilation-optimal at its cube.
+	Optimal uint64 `json:"optimal,omitempty"`
 	// Artifact describes the plancensus job's artifact file.
 	Artifact *ArtifactInfo `json:"artifact,omitempty"`
 }

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/pkg/api"
+)
+
+// DecodeRecords reads an NDJSON job-result stream (the body returned by
+// JobResults) and calls fn with each decoded record: *api.CensusShardRecord,
+// *api.CensusRowRecord, *api.EpsilonRowRecord, *api.PlanRecord,
+// *api.PlanCensusChunkRecord or *api.SummaryRecord, switched on the
+// record's "type" field.
+//
+// Decoding is schema-tolerant in the forward direction: every column added
+// by a later JobSchemaVersion is optional, so result files written before
+// the certificate columns (wirelength, lower_bounds, gap_to_optimal,
+// optimal, cert_optimal_pct) decode with those fields at their zero
+// values.  A schema-1 stream is recognizable by its summary record's
+// missing Schema stamp (SummaryRecord.Schema == 0); on a PlanRecord, a nil
+// LowerBounds marks a pre-certificate row (its GapToOptimal is then
+// meaningless).  Unknown record types are an error — they signal a stream
+// written by a *newer* schema than this client understands.
+//
+// fn returning an error stops the scan and returns that error.
+func DecodeRecords(r io.Reader, fn func(rec any) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return fmt.Errorf("client: results line %d: %w", line, err)
+		}
+		var rec any
+		switch head.Type {
+		case api.RecordCensusShard:
+			rec = new(api.CensusShardRecord)
+		case api.RecordCensusRow:
+			rec = new(api.CensusRowRecord)
+		case api.RecordEpsilonRow:
+			rec = new(api.EpsilonRowRecord)
+		case api.RecordPlan:
+			rec = new(api.PlanRecord)
+		case api.RecordPlanCensusChunk:
+			rec = new(api.PlanCensusChunkRecord)
+		case api.RecordSummary:
+			rec = new(api.SummaryRecord)
+		default:
+			return fmt.Errorf("client: results line %d: unknown record type %q", line, head.Type)
+		}
+		if err := json.Unmarshal(raw, rec); err != nil {
+			return fmt.Errorf("client: results line %d (%s): %w", line, head.Type, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: results stream: %w", err)
+	}
+	return nil
+}

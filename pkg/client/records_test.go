@@ -1,0 +1,91 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pkg/api"
+)
+
+// schema-1 rows, verbatim from a pre-certificate server: no wirelength, no
+// lower_bounds/gap_to_optimal/optimal, no cert_optimal_pct, no summary
+// schema stamp.  DecodeRecords must still parse them.
+const v1Stream = `{"type":"census_row","n":6,"s":[39.0625,62.5,75,100],"s4_eps2":100,"total":262144,"exceptions":0}
+{"type":"plan","shape":"5x6x7","nodes":210,"cube_dim":8,"plan":"(5x3x1[direct] ⊗ 1x2x7[gray])","method":2,"dilation_bound":2,"minimal":true}
+{"type":"summary","kind":"plansweep","chunks":16,"shapes":814,"minimal":814}
+`
+
+func TestDecodeRecordsSchema1(t *testing.T) {
+	var kinds []string
+	err := DecodeRecords(strings.NewReader(v1Stream), func(rec any) error {
+		switch r := rec.(type) {
+		case *api.CensusRowRecord:
+			kinds = append(kinds, "census_row")
+			if r.N != 6 || r.CertOptimalPct != 0 {
+				t.Errorf("census row: %+v", r)
+			}
+		case *api.PlanRecord:
+			kinds = append(kinds, "plan")
+			if r.LowerBounds != nil {
+				t.Errorf("schema-1 plan row decoded with lower bounds: %+v", r)
+			}
+			if r.Shape != "5x6x7" || r.DilationBound != 2 {
+				t.Errorf("plan row: %+v", r)
+			}
+		case *api.SummaryRecord:
+			kinds = append(kinds, "summary")
+			if r.Schema != 0 {
+				t.Errorf("schema-1 summary carries a schema stamp: %+v", r)
+			}
+		default:
+			t.Errorf("unexpected record %T", rec)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("decoded %v", kinds)
+	}
+}
+
+// Schema-2 rows round-trip with the certificate columns populated.
+func TestDecodeRecordsSchema2(t *testing.T) {
+	stream := `{"type":"plan","shape":"4x4x4","nodes":64,"cube_dim":6,"plan":"4x4x4[gray]","method":1,"dilation_bound":1,"minimal":true,"lower_bounds":{"dilation":1,"wirelength":144,"congestion":1},"gap_to_optimal":0,"optimal":true}
+{"type":"summary","schema":2,"kind":"plansweep","chunks":4,"shapes":1,"minimal":1,"optimal":1}
+`
+	seenPlan := false
+	err := DecodeRecords(strings.NewReader(stream), func(rec any) error {
+		if r, ok := rec.(*api.PlanRecord); ok {
+			seenPlan = true
+			if r.LowerBounds == nil || r.LowerBounds.Wirelength != 144 || !r.Optimal || r.GapToOptimal != 0 {
+				t.Errorf("plan row: %+v bounds %+v", r, r.LowerBounds)
+			}
+		}
+		if r, ok := rec.(*api.SummaryRecord); ok && (r.Schema != 2 || r.Optimal != 1) {
+			t.Errorf("summary: %+v", r)
+		}
+		return nil
+	})
+	if err != nil || !seenPlan {
+		t.Fatalf("err=%v seenPlan=%v", err, seenPlan)
+	}
+}
+
+func TestDecodeRecordsRejectsUnknownType(t *testing.T) {
+	err := DecodeRecords(strings.NewReader(`{"type":"from_the_future"}`+"\n"), func(any) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown record type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeRecordsStopsOnCallbackError(t *testing.T) {
+	sentinel := errors.New("stop")
+	n := 0
+	err := DecodeRecords(strings.NewReader(v1Stream), func(any) error { n++; return sentinel })
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
